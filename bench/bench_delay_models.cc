@@ -1,0 +1,63 @@
+// Delay-model sensitivity: the ARD under Elmore, the two-moment D2M
+// metric, and the golden transient simulation.
+//
+// The paper (Section III, closing remark) emphasizes that the ARD is
+// well-defined under any delay measure.  This bench quantifies how much
+// the measure matters on the Table II workload, and — more interesting —
+// whether the *optimizer's decisions* transfer: we optimize under Elmore
+// and re-score the chosen solutions under D2M and under the simulator.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/ard.h"
+#include "elmore/moments.h"
+#include "sim/transient.h"
+#include "io/table.h"
+
+int main() {
+  using msn::TablePrinter;
+  const msn::Technology tech = msn::DefaultTechnology();
+
+  std::cout << "=== Delay-model sensitivity: Elmore vs D2M ===\n"
+            << "(Table II workload; the DP optimizes under Elmore, both"
+               " metrics re-score)\n\n";
+
+  TablePrinter t({"|net|", "base Elmore", "base D2M", "base golden",
+                  "opt Elmore", "opt D2M", "opt golden",
+                  "golden improvement"});
+
+  for (const std::size_t n : {std::size_t{10}, std::size_t{20}}) {
+    const std::vector<msn::RcTree> nets = msn::bench::ExperimentNets(tech, n);
+    double be = 0.0, bd = 0.0, bg = 0.0, oe = 0.0, od = 0.0, og = 0.0;
+    for (const msn::RcTree& tree : nets) {
+      const msn::RepeaterAssignment none(tree.NumNodes());
+      const msn::DriverAssignment drivers(tree.NumTerminals());
+      be += msn::ComputeArd(tree, none, drivers, tech).ard_ps;
+      bd += msn::ComputeArdD2M(tree, none, drivers, tech).ard_ps;
+      bg += msn::ComputeArdGolden(tree, none, drivers, tech).ard_ps;
+
+      const msn::MsriResult r = msn::RunMsri(tree, tech);
+      const msn::TradeoffPoint* best = r.MinArd();
+      oe += best->ard_ps;
+      od += msn::ComputeArdD2M(tree, best->repeaters, best->drivers, tech)
+                .ard_ps;
+      og += msn::ComputeArdGolden(tree, best->repeaters, best->drivers,
+                                  tech)
+                .ard_ps;
+    }
+    const double k = static_cast<double>(nets.size());
+    t.AddRow({std::to_string(n), TablePrinter::Num(be / k, 0),
+              TablePrinter::Num(bd / k, 0), TablePrinter::Num(bg / k, 0),
+              TablePrinter::Num(oe / k, 0), TablePrinter::Num(od / k, 0),
+              TablePrinter::Num(og / k, 0),
+              TablePrinter::Num(1.0 - (og / k) / (bg / k), 2)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nexpected shape: golden <= D2M-ish <= Elmore (Elmore is"
+               " a provable upper bound, D2M corrects most of its"
+               " pessimism), and the Elmore-optimized repeater placements"
+               " deliver comparable relative improvement when re-scored"
+               " under the simulator — the paper's choice of Elmore for"
+               " optimization is robust.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension study: the price of slew control.
+//
+// Sweeping the maximum unbuffered stage length (the practical proxy for a
+// transition-time limit) on the 10-pin workload: tighter bounds force
+// repeaters into even the cheapest feasible solution, raising the cost
+// floor while barely moving the achievable minimum diameter (the
+// min-diameter solution already buffers densely).
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/ard.h"
+#include "elmore/moments.h"
+#include "io/table.h"
+
+int main() {
+  using msn::TablePrinter;
+  const msn::Technology tech = msn::DefaultTechnology();
+
+  std::cout << "=== Extension: slew control via bounded stage length ===\n"
+            << "(10-pin Table II workload; cost normalized to the"
+               " unconstrained min-cost solution)\n\n";
+
+  TablePrinter t({"stage bound (um)", "min-cost", "min-cost #rep",
+                  "min diam", "worst stage slew (ps)"});
+
+  const std::vector<msn::RcTree> nets = msn::bench::ExperimentNets(tech, 10);
+  for (const double bound : {0.0, 4000.0, 2500.0, 1500.0}) {
+    double cost = 0.0, reps = 0.0, diam = 0.0, slew = 0.0;
+    std::size_t feasible = 0;
+    for (const msn::RcTree& tree : nets) {
+      msn::MsriOptions opt;
+      opt.max_stage_length_um = bound;
+      const msn::MsriResult r = msn::RunMsri(tree, tech, opt);
+      if (r.Pareto().empty()) continue;
+      ++feasible;
+      const double base = msn::ComputeArd(tree, tech).ard_ps;
+      cost += r.MinCost()->cost / 20.0;
+      reps += static_cast<double>(r.MinCost()->num_repeaters);
+      diam += r.MinArd()->ard_ps / base;
+
+      // Worst sink slew of the min-cost solution, via the moment engine.
+      const msn::TradeoffPoint* p = r.MinCost();
+      double worst = 0.0;
+      for (std::size_t u = 0; u < tree.NumTerminals(); ++u) {
+        const msn::SourceMoments m = msn::ComputeSourceMoments(
+            tree, u, p->repeaters, p->drivers, tech);
+        for (std::size_t s = 0; s < tree.NumTerminals(); ++s) {
+          if (s == u) continue;
+          const msn::NodeId v = tree.TerminalNode(s);
+          worst = std::max(worst, msn::SlewEstimate(m.m1[v], m.m2[v]));
+        }
+      }
+      slew += worst;
+    }
+    const double k = static_cast<double>(feasible);
+    t.AddRow({bound == 0.0 ? "unbounded" : TablePrinter::Num(bound, 0),
+              TablePrinter::Num(cost / k, 2), TablePrinter::Num(reps / k, 1),
+              TablePrinter::Num(diam / k, 3),
+              TablePrinter::Num(slew / k, 0)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nexpected shape: tighter stage bounds raise the minimum"
+               " cost (repeaters become mandatory) and directly cut the"
+               " worst sink transition time; moderate bounds barely touch"
+               " the achievable diameter, while aggressive ones (1500 um)"
+               " start trading diameter for slew — mandatory buffering"
+               " outlaws the fast long unbuffered stretches.\n";
+  return 0;
+}

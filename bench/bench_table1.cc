@@ -1,0 +1,50 @@
+// Reproduces paper Table I: the technology parameters used throughout the
+// experiments.  The paper takes its values from Okamoto & Cong [20]; our
+// substitutions are documented in DESIGN.md §5 (the paper's own text fixes
+// the 0.05 pF 1X input capacitance, the 400 Ohm previous-stage resistance
+// and the 0.2 pF subsequent-stage capacitance).
+#include <iostream>
+
+#include "io/table.h"
+#include "tech/tech.h"
+
+int main() {
+  using msn::TablePrinter;
+  const msn::Technology tech = msn::DefaultTechnology();
+  const msn::Buffer buf = msn::DefaultBuffer1X();
+
+  std::cout << "=== Table I: technology parameters ===\n"
+            << "(bidirectional repeaters and source/sink drivers are built"
+               " from a pair of unidirectional buffers)\n\n";
+
+  TablePrinter t({"parameter", "value", "unit"});
+  t.AddRow({"unit wire resistance", TablePrinter::Num(tech.wire.res_per_um, 3),
+            "Ohm/um"});
+  t.AddRow({"unit wire capacitance",
+            TablePrinter::Num(tech.wire.cap_per_um * 1000.0, 3), "fF/um"});
+  t.AddRow({"1X buffer intrinsic delay", TablePrinter::Num(buf.intrinsic_ps, 1),
+            "ps"});
+  t.AddRow({"1X buffer output resistance", TablePrinter::Num(buf.output_res, 0),
+            "Ohm"});
+  t.AddRow({"1X buffer input capacitance", TablePrinter::Num(buf.input_cap, 3),
+            "pF"});
+  t.AddRow({"1X buffer cost", TablePrinter::Num(buf.cost, 0), "1X units"});
+  t.AddRow({"previous-stage resistance", TablePrinter::Num(tech.prev_stage_res, 0),
+            "Ohm"});
+  t.AddRow({"subsequent-stage capacitance",
+            TablePrinter::Num(tech.next_stage_cap, 2), "pF"});
+  t.Print(std::cout);
+
+  std::cout << "\nderived repeater (pair of 1X buffers):\n";
+  TablePrinter r({"parameter", "A->B", "B->A"});
+  const msn::Repeater& rep = tech.repeaters[0];
+  r.AddRow({"intrinsic delay (ps)", TablePrinter::Num(rep.intrinsic_ab, 1),
+            TablePrinter::Num(rep.intrinsic_ba, 1)});
+  r.AddRow({"output resistance (Ohm)", TablePrinter::Num(rep.res_ab, 0),
+            TablePrinter::Num(rep.res_ba, 0)});
+  r.AddRow({"input cap (pF, A / B side)", TablePrinter::Num(rep.cap_a, 3),
+            TablePrinter::Num(rep.cap_b, 3)});
+  r.AddRow({"cost (1X units)", TablePrinter::Num(rep.cost, 0), ""});
+  r.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces paper Table II: driver sizing versus optimal repeater
+// insertion on random multisource nets.
+//
+// Workload: ten random nets each of 10 and 20 terminals on a 1 cm x 1 cm
+// grid; Steiner topologies; insertion points at most ~800 um apart with at
+// least one per wire.  All terminals are sources and sinks with AT = DD = 0
+// (the unaugmented RC-diameter measure).  Columns 3-7 are averages of
+// per-net values normalized to the min-cost solution (no repeaters, 1X/1X
+// drivers):
+//   col 3/4: minimum diameter achievable by driver sizing, and its cost;
+//   col 5  : cheapest repeater insertion matching that sizing diameter;
+//   col 6/7: minimum-diameter repeater insertion, and its cost.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/ard.h"
+#include "io/table.h"
+
+int main() {
+  using msn::TablePrinter;
+  const msn::Technology tech = msn::DefaultTechnology();
+
+  std::cout << "=== Table II: driver sizing vs repeater insertion ===\n"
+            << "(averages over 10 random nets per cardinality, normalized"
+               " to the min-cost solution)\n\n";
+
+  TablePrinter t({"|net|", "avg #ip", "DS diam", "DS cost", "RI cost@DS",
+                  "RI diam", "RI cost"});
+
+  for (const std::size_t n : {std::size_t{10}, std::size_t{20}}) {
+    const std::vector<msn::RcTree> nets = msn::bench::ExperimentNets(tech, n);
+    double sum_ip = 0.0;
+    double ds_diam = 0.0, ds_cost = 0.0, ri_cost_at_ds = 0.0;
+    double ri_diam = 0.0, ri_cost = 0.0;
+    std::size_t matched = 0;
+
+    for (const msn::RcTree& tree : nets) {
+      sum_ip += static_cast<double>(tree.InsertionPoints().size());
+      const double base_diam = msn::ComputeArd(tree, tech).ard_ps;
+      const double base_cost = 2.0 * static_cast<double>(n);
+
+      const msn::MsriResult sized =
+          msn::RunMsri(tree, tech, msn::bench::SizingOptions(tech));
+      const msn::TradeoffPoint* ds = sized.MinArd();
+      ds_diam += ds->ard_ps / base_diam;
+      ds_cost += ds->cost / base_cost;
+
+      const msn::MsriResult rep = msn::RunMsri(tree, tech);
+      const msn::TradeoffPoint* min_diam = rep.MinArd();
+      ri_diam += min_diam->ard_ps / base_diam;
+      ri_cost += min_diam->cost / base_cost;
+
+      if (const msn::TradeoffPoint* p = rep.MinCostFeasible(ds->ard_ps)) {
+        ri_cost_at_ds += p->cost / base_cost;
+        ++matched;
+      }
+    }
+    const double k = static_cast<double>(nets.size());
+    t.AddRow({std::to_string(n), TablePrinter::Num(sum_ip / k, 1),
+              TablePrinter::Num(ds_diam / k, 2),
+              TablePrinter::Num(ds_cost / k, 2),
+              TablePrinter::Num(
+                  matched ? ri_cost_at_ds / static_cast<double>(matched)
+                          : 0.0,
+                  2),
+              TablePrinter::Num(ri_diam / k, 2),
+              TablePrinter::Num(ri_cost / k, 2)});
+  }
+  t.Print(std::cout);
+  std::cout << "\npaper's shape: repeater insertion reaches a lower"
+               " normalized diameter than sizing (0.55 vs 0.73 on 10-pin"
+               " nets), and matching the sizing diameter by repeaters is"
+               " cheaper than the sizing solution itself.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Scenario: splitting a block's repeater-area budget across its buses.
+//
+// A block has five multisource nets of different sizes and a fixed
+// repeater budget.  Because the optimizer returns each net's whole
+// cost-vs-ARD Pareto suite (the paper's "suite of solutions" design
+// goal), the flow layer can allocate globally:
+//   - min-max: equalize the worst bus (clock-period-like objective),
+//   - min-sum: best average (throughput-like objective),
+// and show how the allocation shifts as the budget grows.
+#include <iostream>
+
+#include "core/msri.h"
+#include "flow/budget.h"
+#include "io/table.h"
+#include "netgen/netgen.h"
+#include "tech/tech.h"
+
+int main() {
+  const msn::Technology tech = msn::DefaultTechnology();
+
+  // Five buses: two small, two medium, one large.
+  const std::size_t sizes[] = {4, 5, 8, 10, 14};
+  std::vector<msn::Frontier> frontiers;
+  double min_cost = 0.0;
+  std::cout << "=== chip-level repeater budgeting ===\n";
+  for (std::size_t k = 0; k < 5; ++k) {
+    msn::NetConfig cfg;
+    cfg.seed = 40 + k;
+    cfg.num_terminals = sizes[k];
+    const msn::RcTree tree = msn::BuildExperimentNet(cfg, tech);
+    const msn::MsriResult r = msn::RunMsri(tree, tech);
+    frontiers.push_back(msn::FrontierOf(r));
+    min_cost += frontiers.back().front().cost;
+    std::cout << "net " << k << ": " << sizes[k] << " terminals, frontier "
+              << frontiers.back().size() << " points, ARD range ["
+              << frontiers.back().back().delay_ps << ", "
+              << frontiers.back().front().delay_ps << "] ps\n";
+  }
+  std::cout << "minimum total cost (no repeaters): " << min_cost << "\n\n";
+
+  msn::TablePrinter t({"extra budget", "minmax worst", "minmax spend",
+                       "minsum avg", "minsum worst", "per-net (minmax)"});
+  for (const double extra : {0.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    const double budget = min_cost + extra;
+    const auto mm = msn::AllocateMinMax(frontiers, budget);
+    const auto ms = msn::AllocateMinSum(frontiers, budget);
+    if (!mm || !ms) continue;
+    std::string split;
+    for (std::size_t k = 0; k < frontiers.size(); ++k) {
+      const double spent = frontiers[k][mm->choice[k]].cost -
+                           frontiers[k].front().cost;
+      split += (k ? "/" : "") + msn::TablePrinter::Num(spent, 0);
+    }
+    t.AddRow({msn::TablePrinter::Num(extra, 0),
+              msn::TablePrinter::Num(mm->worst_delay_ps, 0),
+              msn::TablePrinter::Num(mm->total_cost - min_cost, 0),
+              msn::TablePrinter::Num(ms->sum_delay_ps / 5.0, 0),
+              msn::TablePrinter::Num(ms->worst_delay_ps, 0), split});
+  }
+  t.Print(std::cout);
+  std::cout << "\nreading the table: min-max pours budget into the worst"
+               " (largest) bus first; min-sum spreads it where the\n"
+               "marginal ps-per-cost is best — the two objectives diverge"
+               " exactly as a flow engineer would expect.\n";
+  return 0;
+}

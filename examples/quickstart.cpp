@@ -1,0 +1,70 @@
+// Quickstart: build a small multisource net, measure its augmented
+// RC-diameter, and run optimal repeater insertion.
+//
+//   $ ./quickstart
+//
+// Walks through the library's three core steps:
+//   1. describe the technology and the net (an RcTree),
+//   2. evaluate timing with the linear-time ARD engine,
+//   3. optimize with the MSRI dynamic program and inspect the
+//      cost-versus-delay tradeoff suite.
+#include <iostream>
+
+#include "core/ard.h"
+#include "core/msri.h"
+#include "io/report.h"
+#include "rctree/rctree.h"
+#include "tech/tech.h"
+
+int main() {
+  // 1. Technology: Table-I wire parasitics plus one repeater type built
+  //    from a pair of 1X buffers.
+  const msn::Technology tech = msn::DefaultTechnology();
+
+  // A three-terminal bus: two terminals at the ends of a 6 mm trunk and
+  // one hanging off the middle.  Every terminal both drives and receives
+  // (TerminalParams defaults), with repeater candidate sites every ~800um.
+  msn::RcTree tree(tech.wire);
+  const msn::TerminalParams pin = msn::DefaultTerminal(tech);
+  const msn::NodeId a = tree.AddTerminal(pin, {0, 0});
+  const msn::NodeId mid = tree.AddNode(msn::NodeKind::kSteiner, {3000, 0});
+  const msn::NodeId b = tree.AddTerminal(pin, {6000, 0});
+  const msn::NodeId c = tree.AddTerminal(pin, {3000, 2500});
+  tree.AddEdge(a, mid, 3000.0);
+  tree.AddEdge(mid, b, 3000.0);
+  tree.AddEdge(mid, c, 2500.0);
+  tree.AddInsertionPoints(800.0);
+  tree.Validate();
+
+  msn::DescribeNet(std::cout, tree);
+
+  // 2. Timing before optimization: the augmented RC-diameter is the worst
+  //    source-to-sink Elmore delay over all terminal pairs (Def. 2.1),
+  //    computed in O(n) by the Fig. 2 algorithm.
+  const msn::ArdResult before = msn::ComputeArd(tree, tech);
+  std::cout << "\nunoptimized ARD: " << before.ard_ps
+            << " ps (critical: terminal " << before.critical_source
+            << " -> terminal " << before.critical_sink << ")\n";
+
+  // 3. Optimal repeater insertion (Problem 2.1).  The result is the whole
+  //    Pareto frontier; each point carries a materialized assignment.
+  const msn::MsriResult result = msn::RunMsri(tree, tech);
+
+  std::cout << "\ncost vs ARD tradeoff suite:\n";
+  for (const msn::TradeoffPoint& p : result.Pareto()) {
+    std::cout << "  cost " << p.cost << " (" << p.num_repeaters
+              << " repeaters): " << p.ard_ps << " ps\n";
+  }
+
+  // "Min cost subject to a timing spec": aim halfway between the base
+  // diameter and the achievable optimum (always feasible).
+  const double spec = (before.ard_ps + result.MinArd()->ard_ps) / 2.0;
+  if (const msn::TradeoffPoint* pick = result.MinCostFeasible(spec)) {
+    std::cout << "\ncheapest solution meeting ARD <= " << spec << " ps:\n";
+    const msn::ArdResult ard =
+        msn::ComputeArd(tree, pick->repeaters, pick->drivers, tech);
+    msn::DescribeSolution(std::cout, tree, tech, *pick, ard);
+    std::cout << '\n' << msn::RenderAscii(tree, pick->repeaters, 60, 14);
+  }
+  return 0;
+}

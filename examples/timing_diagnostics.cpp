@@ -1,0 +1,86 @@
+// Scenario: timing sign-off diagnostics on an optimized bus.
+//
+// After optimization a designer wants to know *why* the critical path is
+// critical and how trustworthy the Elmore numbers are.  This example
+// optimizes a 9-terminal net, then:
+//   1. traces the critical source-to-sink path with per-node arrivals,
+//   2. re-scores every source/sink pair under the two-moment D2M metric
+//      (Elmore is a provable upper bound; D2M corrects its pessimism),
+//   3. prints the per-stage moments along the critical path.
+#include <iostream>
+
+#include "core/ard.h"
+#include "core/msri.h"
+#include "elmore/moments.h"
+#include "io/table.h"
+#include "netgen/netgen.h"
+#include "tech/tech.h"
+
+int main() {
+  const msn::Technology tech = msn::DefaultTechnology();
+  msn::NetConfig cfg;
+  cfg.seed = 23;
+  cfg.num_terminals = 9;
+  const msn::RcTree tree = msn::BuildExperimentNet(cfg, tech);
+
+  const msn::MsriResult result = msn::RunMsri(tree, tech);
+  const msn::TradeoffPoint* best = result.MinArd();
+  const msn::ArdResult ard =
+      msn::ComputeArd(tree, best->repeaters, best->drivers, tech);
+
+  std::cout << "=== timing diagnostics after optimization ===\n"
+            << "optimized ARD " << ard.ard_ps << " ps with "
+            << best->num_repeaters << " repeaters (cost " << best->cost
+            << ")\n\n";
+
+  // 1. Critical path trace.
+  const msn::CriticalPath path = msn::TraceCriticalPath(
+      tree, ard, best->repeaters, best->drivers, tech);
+  std::cout << "critical path: terminal " << path.source_terminal << " -> "
+            << path.sink_terminal << " (" << path.nodes.size()
+            << " nodes, total " << path.total_ps << " ps)\n";
+  const msn::SourceMoments moments = msn::ComputeSourceMoments(
+      tree, path.source_terminal, best->repeaters, best->drivers, tech);
+
+  msn::TablePrinter t({"node", "kind", "arrival (ps)", "step (ps)",
+                       "D2M est (ps)", "stage m1", "stage 2*m2/m1^2"});
+  double prev = path.arrival_ps.front();
+  for (std::size_t i = 0; i < path.nodes.size(); ++i) {
+    const msn::NodeId v = path.nodes[i];
+    const char* kind = "steiner";
+    if (tree.Node(v).kind == msn::NodeKind::kTerminal) kind = "terminal";
+    if (tree.Node(v).kind == msn::NodeKind::kInsertion) {
+      kind = best->repeaters.Has(v) ? "REPEATER" : "insertion";
+    }
+    const double m1 = moments.m1[v];
+    const double shape =
+        m1 > 0.0 ? 2.0 * moments.m2[v] / (m1 * m1) : 0.0;
+    t.AddRow({std::to_string(v), kind,
+              msn::TablePrinter::Num(path.arrival_ps[i], 1),
+              msn::TablePrinter::Num(path.arrival_ps[i] - prev, 1),
+              msn::TablePrinter::Num(moments.delay_ps[v], 1),
+              msn::TablePrinter::Num(m1, 1),
+              msn::TablePrinter::Num(shape, 2)});
+    prev = path.arrival_ps[i];
+  }
+  t.Print(std::cout);
+  std::cout << "(2*m2/m1^2 = 1 means a first-order stage response; larger"
+               " values mean a longer resistive tail)\n\n";
+
+  // 2. Model sensitivity on the whole net.
+  const msn::ArdResult d2m = msn::ComputeArdD2M(
+      tree, best->repeaters, best->drivers, tech);
+  std::cout << "whole-net diameter: Elmore " << ard.ard_ps << " ps, D2M "
+            << d2m.ard_ps << " ps ("
+            << msn::TablePrinter::Num(100.0 * d2m.ard_ps / ard.ard_ps, 1)
+            << "% of Elmore)\n";
+  if (d2m.HasPair() && (d2m.critical_source != ard.critical_source ||
+                        d2m.critical_sink != ard.critical_sink)) {
+    std::cout << "note: the critical pair differs under D2M ("
+              << d2m.critical_source << " -> " << d2m.critical_sink
+              << ") — worth a second look before sign-off.\n";
+  } else {
+    std::cout << "the critical pair agrees across both delay models.\n";
+  }
+  return 0;
+}

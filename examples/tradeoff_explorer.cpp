@@ -1,0 +1,56 @@
+// Scenario: exploring how the cost/performance tradeoff scales with net
+// size — the data a physical-design flow would use to budget repeater area
+// per bus.
+//
+// For growing terminal counts we dump the full Pareto frontier as CSV
+// (ready for plotting) and report the marginal delay improvement per unit
+// cost, showing the diminishing returns the paper's Fig. 11 suite hints
+// at.
+#include <iostream>
+
+#include "core/ard.h"
+#include "core/msri.h"
+#include "netgen/netgen.h"
+#include "tech/tech.h"
+
+int main() {
+  const msn::Technology tech = msn::DefaultTechnology();
+
+  std::cout << "net_size,seed,cost,num_repeaters,ard_ps,ard_vs_base\n";
+  for (const std::size_t n : {std::size_t{5}, std::size_t{10},
+                              std::size_t{15}, std::size_t{20}}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      msn::NetConfig cfg;
+      cfg.seed = seed;
+      cfg.num_terminals = n;
+      const msn::RcTree tree = msn::BuildExperimentNet(cfg, tech);
+      const double base = msn::ComputeArd(tree, tech).ard_ps;
+      const msn::MsriResult result = msn::RunMsri(tree, tech);
+      for (const msn::TradeoffPoint& p : result.Pareto()) {
+        std::cout << n << ',' << seed << ',' << p.cost << ','
+                  << p.num_repeaters << ',' << p.ard_ps << ','
+                  << p.ard_ps / base << '\n';
+      }
+    }
+  }
+
+  // Marginal-return summary for one representative net.
+  std::cerr << "\nmarginal returns (10-terminal net, seed 1):\n";
+  msn::NetConfig cfg;
+  cfg.seed = 1;
+  cfg.num_terminals = 10;
+  const msn::RcTree tree = msn::BuildExperimentNet(cfg, tech);
+  const msn::MsriResult result = msn::RunMsri(tree, tech);
+  const auto& pareto = result.Pareto();
+  for (std::size_t i = 1; i < pareto.size(); ++i) {
+    const double dcost = pareto[i].cost - pareto[i - 1].cost;
+    const double dd = pareto[i - 1].ard_ps - pareto[i].ard_ps;
+    std::cerr << "  +" << dcost << " cost -> -" << dd << " ps  ("
+              << dd / dcost << " ps per unit cost)\n";
+  }
+  std::cerr << "expected: large early gains that taper off overall —"
+               " individual steps can wobble (each repeater reshapes the"
+               " critical path) but the last steps buy an order of"
+               " magnitude less than the first.\n";
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "baseline/brute_force.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/numeric.h"
+#include "core/ard.h"
+#include "core/msri.h"
+#include "core/pareto.h"
+
+namespace msn {
+namespace {
+
+/// One choice at an insertion point: no repeater, or (library index,
+/// A-side neighbor).
+struct IpChoice {
+  bool place = false;
+  std::size_t repeater_index = 0;
+  NodeId a_side_neighbor = kNoNode;
+};
+
+std::vector<IpChoice> ChoicesForInsertionPoint(const RcTree& tree,
+                                               const Technology& tech,
+                                               NodeId ip) {
+  std::vector<IpChoice> choices{IpChoice{}};  // "no repeater".
+  const auto& adj = tree.AdjacentEdges(ip);
+  MSN_CHECK_MSG(adj.size() == 2, "insertion point must have degree 2");
+  const RcEdge& e0 = tree.Edge(adj[0]);
+  const NodeId n0 = e0.a == ip ? e0.b : e0.a;
+  const RcEdge& e1 = tree.Edge(adj[1]);
+  const NodeId n1 = e1.a == ip ? e1.b : e1.a;
+  for (std::size_t ri = 0; ri < tech.repeaters.size(); ++ri) {
+    choices.push_back(IpChoice{true, ri, n0});
+    if (!tech.repeaters[ri].Symmetric()) {
+      choices.push_back(IpChoice{true, ri, n1});
+    }
+  }
+  return choices;
+}
+
+}  // namespace
+
+BruteForceResult BruteForceMsri(const RcTree& tree, const Technology& tech,
+                                const BruteForceOptions& options) {
+  tree.Validate();
+  const std::vector<NodeId>& ips = tree.InsertionPoints();
+
+  std::vector<std::vector<IpChoice>> ip_choices;
+  if (options.insert_repeaters) {
+    ip_choices.reserve(ips.size());
+    for (const NodeId ip : ips) {
+      ip_choices.push_back(ChoicesForInsertionPoint(tree, tech, ip));
+    }
+  }
+  const std::size_t driver_choices =
+      options.size_drivers ? options.sizing_library.size() : 1;
+  MSN_CHECK_MSG(!options.size_drivers || driver_choices > 0,
+                "size_drivers set with empty sizing_library");
+  const std::size_t width_choices =
+      options.size_wires ? options.wire_width_choices.size() : 1;
+  MSN_CHECK_MSG(!options.size_wires || width_choices > 0,
+                "size_wires set with empty wire_width_choices");
+
+  // Total combination count, with overflow-safe limit checking.
+  double total = 1.0;
+  for (const auto& c : ip_choices) total *= static_cast<double>(c.size());
+  for (std::size_t t = 0; t < tree.NumTerminals(); ++t) {
+    total *= static_cast<double>(driver_choices);
+  }
+  for (std::size_t e = 0; options.size_wires && e < tree.NumEdges(); ++e) {
+    total *= static_cast<double>(width_choices);
+  }
+  MSN_CHECK_MSG(total <= static_cast<double>(options.max_combinations),
+                "brute force would enumerate " << total
+                    << " assignments; limit is "
+                    << options.max_combinations);
+
+  // Odometer over insertion-point, terminal, then wire-width choices.
+  std::vector<std::size_t> ip_idx(ip_choices.size(), 0);
+  std::vector<std::size_t> drv_idx(tree.NumTerminals(), 0);
+  std::vector<std::size_t> wid_idx(options.size_wires ? tree.NumEdges() : 0,
+                                   0);
+
+  BruteForceResult result;
+  std::vector<TradeoffPoint> all;
+
+  bool done = false;
+  while (!done) {
+    RepeaterAssignment repeaters(tree.NumNodes());
+    double cost = 0.0;
+    for (std::size_t i = 0; i < ip_choices.size(); ++i) {
+      const IpChoice& c = ip_choices[i][ip_idx[i]];
+      if (c.place) {
+        repeaters.Place(ips[i],
+                        PlacedRepeater{c.repeater_index, c.a_side_neighbor});
+        cost += tech.repeaters[c.repeater_index].cost;
+      }
+    }
+    DriverAssignment drivers(tree.NumTerminals());
+    for (std::size_t t = 0; t < tree.NumTerminals(); ++t) {
+      if (options.size_drivers) {
+        drivers.Choose(t, options.sizing_library[drv_idx[t]]);
+        cost += options.sizing_library[drv_idx[t]].cost;
+      } else {
+        cost += tree.Terminal(t).driver.cost;
+      }
+    }
+
+    std::vector<double> widths;
+    if (options.size_wires) {
+      widths.reserve(tree.NumEdges());
+      for (std::size_t e = 0; e < tree.NumEdges(); ++e) {
+        const double w = options.wire_width_choices[wid_idx[e]];
+        widths.push_back(w);
+        cost += WireAreaCost(options.wire_area_cost_per_um,
+                             tree.Edge(e).length_um, w,
+                             options.wire_cost_quantum);
+      }
+    }
+
+    ++result.enumerated;
+    // The inverter extension: assignments delivering inverted polarity to
+    // some source/sink pair are infeasible.
+    if (ParityFeasible(tree, repeaters, tech) &&
+        StageLengthFeasible(tree, repeaters,
+                            options.max_stage_length_um)) {
+      const ArdResult ard =
+          options.size_wires
+              ? ComputeArd(tree.WithWireWidths(widths), repeaters, drivers,
+                           tech)
+              : ComputeArd(tree, repeaters, drivers, tech);
+      all.push_back(TradeoffPoint{cost, ard.ard_ps, repeaters, drivers,
+                                  repeaters.CountPlaced(),
+                                  std::move(widths)});
+    }
+
+    // Advance the odometer.
+    done = true;
+    for (std::size_t i = 0; i < ip_idx.size(); ++i) {
+      if (++ip_idx[i] < ip_choices[i].size()) {
+        done = false;
+        break;
+      }
+      ip_idx[i] = 0;
+    }
+    if (done) {
+      for (std::size_t t = 0; t < drv_idx.size(); ++t) {
+        if (++drv_idx[t] < driver_choices) {
+          done = false;
+          break;
+        }
+        drv_idx[t] = 0;
+      }
+    }
+    if (done) {
+      for (std::size_t e = 0; e < wid_idx.size(); ++e) {
+        if (++wid_idx[e] < width_choices) {
+          done = false;
+          break;
+        }
+        wid_idx[e] = 0;
+      }
+    }
+  }
+
+  result.pareto = ParetoByCostDelay(
+      std::move(all), [](const TradeoffPoint& p) { return p.cost; },
+      [](const TradeoffPoint& p) { return p.ard_ps; });
+  return result;
+}
+
+}  // namespace msn

@@ -1,0 +1,48 @@
+// Exhaustive enumeration baseline.
+//
+// Enumerates every repeater assignment (and, optionally, every driver
+// sizing) over a small net, evaluates each with the linear-time ARD
+// engine, and returns the exact cost-vs-ARD Pareto frontier.  This is the
+// optimality oracle Theorem 4.1 is tested against
+// (tests/msri_optimality_test.cc) — it is exponential and guarded by an
+// explicit combination limit.
+#ifndef MSN_BASELINE_BRUTE_FORCE_H
+#define MSN_BASELINE_BRUTE_FORCE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/msri.h"
+#include "rctree/rctree.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+struct BruteForceOptions {
+  bool insert_repeaters = true;
+  bool size_drivers = false;
+  std::vector<TerminalOption> sizing_library;
+  /// Enumerate wire widths per edge (match MsriOptions wire sizing).
+  bool size_wires = false;
+  std::vector<double> wire_width_choices = {1.0, 2.0};
+  double wire_area_cost_per_um = 0.0005;
+  double wire_cost_quantum = 0.05;  ///< Must match MsriOptions.
+  /// Slew control: match MsriOptions::max_stage_length_um (0 = off).
+  double max_stage_length_um = 0.0;
+  /// Hard cap on the number of enumerated assignments (checked).
+  std::size_t max_combinations = 2'000'000;
+};
+
+struct BruteForceResult {
+  /// Pareto frontier, sorted by increasing cost (ARD strictly decreasing).
+  std::vector<TradeoffPoint> pareto;
+  std::size_t enumerated = 0;
+};
+
+/// Exhaustively solves Problem 2.1 on `tree`.
+BruteForceResult BruteForceMsri(const RcTree& tree, const Technology& tech,
+                                const BruteForceOptions& options = {});
+
+}  // namespace msn
+
+#endif  // MSN_BASELINE_BRUTE_FORCE_H

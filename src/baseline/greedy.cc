@@ -1,0 +1,95 @@
+#include "baseline/greedy.h"
+
+#include "common/check.h"
+#include "common/numeric.h"
+#include "core/ard.h"
+
+namespace msn {
+namespace {
+
+/// All placement options at one insertion point (excluding "empty").
+std::vector<PlacedRepeater> PlacementsAt(const RcTree& tree,
+                                         const Technology& tech,
+                                         NodeId ip) {
+  const auto& adj = tree.AdjacentEdges(ip);
+  const RcEdge& e0 = tree.Edge(adj[0]);
+  const NodeId n0 = e0.a == ip ? e0.b : e0.a;
+  const RcEdge& e1 = tree.Edge(adj[1]);
+  const NodeId n1 = e1.a == ip ? e1.b : e1.a;
+  std::vector<PlacedRepeater> out;
+  for (std::size_t ri = 0; ri < tech.repeaters.size(); ++ri) {
+    out.push_back(PlacedRepeater{ri, n0});
+    if (!tech.repeaters[ri].Symmetric()) {
+      out.push_back(PlacedRepeater{ri, n1});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GreedyResult GreedyMsri(const RcTree& tree, const Technology& tech) {
+  tree.Validate();
+  MSN_CHECK_MSG(!tech.repeaters.empty(), "empty repeater library");
+
+  GreedyResult result;
+  RepeaterAssignment current(tree.NumNodes());
+  const DriverAssignment drivers(tree.NumTerminals());
+
+  double current_ard = ComputeArd(tree, current, drivers, tech).ard_ps;
+  result.ard_trajectory_ps.push_back(current_ard);
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    RepeaterAssignment best_next = current;
+    double best_ard = current_ard;
+
+    for (const NodeId ip : tree.InsertionPoints()) {
+      // Candidate states at this point: empty plus every placement; skip
+      // the one we already have.
+      std::vector<std::optional<PlacedRepeater>> states;
+      states.emplace_back(std::nullopt);
+      for (const PlacedRepeater& p : PlacementsAt(tree, tech, ip)) {
+        states.emplace_back(p);
+      }
+      for (const auto& state : states) {
+        if (state == current.At(ip)) continue;
+        RepeaterAssignment candidate = current;
+        if (state) {
+          candidate.Place(ip, *state);
+        } else {
+          candidate.Remove(ip);
+        }
+        ++result.moves_evaluated;
+        if (!ParityFeasible(tree, candidate, tech)) continue;
+        const double ard =
+            ComputeArd(tree, candidate, drivers, tech).ard_ps;
+        if (ard < best_ard - kEps) {
+          best_ard = ard;
+          best_next = candidate;
+        }
+      }
+    }
+    if (best_ard < current_ard - kEps) {
+      current = best_next;
+      current_ard = best_ard;
+      result.ard_trajectory_ps.push_back(current_ard);
+      improved = true;
+    }
+  }
+
+  double cost = current.Cost(tech);
+  for (std::size_t t = 0; t < tree.NumTerminals(); ++t) {
+    cost += tree.Terminal(t).driver.cost;
+  }
+  result.best = TradeoffPoint{cost,
+                              current_ard,
+                              current,
+                              DriverAssignment(tree.NumTerminals()),
+                              current.CountPlaced(),
+                              {}};
+  return result;
+}
+
+}  // namespace msn

@@ -1,0 +1,40 @@
+// Greedy local-optimization baseline for repeater insertion.
+//
+// In the spirit of the prior art the paper positions itself against
+// ([24] Tsai, Kao, Cheng: heuristic bus buffer insertion via local
+// optimization): starting from the unbuffered net, repeatedly apply the
+// single move — add, remove, reorient or swap one repeater at one
+// insertion point — that most reduces the ARD, until no move helps.
+// Each candidate move is evaluated with the linear-time ARD engine, so
+// one pass costs O(#ips · |library| · n).
+//
+// The DP (RunMsri) is provably optimal; this baseline quantifies how much
+// a practical heuristic leaves on the table (bench_heuristic) and serves
+// as an independent upper bound in tests.
+#ifndef MSN_BASELINE_GREEDY_H
+#define MSN_BASELINE_GREEDY_H
+
+#include <vector>
+
+#include "core/msri.h"
+#include "rctree/rctree.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+struct GreedyResult {
+  /// Trajectory of accepted moves: ARD after 0, 1, 2, ... moves.
+  std::vector<double> ard_trajectory_ps;
+  /// Final local optimum.
+  TradeoffPoint best;
+  std::size_t moves_evaluated = 0;
+};
+
+/// Runs greedy descent on `tree` with `tech`'s repeater library.
+/// Inverting repeaters are supported (parity-infeasible intermediate
+/// states are skipped).
+GreedyResult GreedyMsri(const RcTree& tree, const Technology& tech);
+
+}  // namespace msn
+
+#endif  // MSN_BASELINE_GREEDY_H

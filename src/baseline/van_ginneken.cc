@@ -1,0 +1,251 @@
+#include "baseline/van_ginneken.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+#include "common/numeric.h"
+#include "core/pareto.h"
+#include "rctree/rooted.h"
+
+namespace msn {
+namespace {
+
+/// A van Ginneken subsolution: scalar triple plus provenance.
+struct VgSolution {
+  double cost = 0.0;
+  double cap = 0.0;
+  double delay = -kInf;  ///< Max augmented delay to a sink below.
+  int parity = 0;  ///< Inversion parity of sinks below (inverter ext.).
+
+  enum class Kind { kLeaf, kAugment, kJoin, kBuffer } kind = Kind::kLeaf;
+  NodeId node = kNoNode;
+  std::size_t repeater_index = 0;
+  RepeaterOrientation orientation = RepeaterOrientation::kASideUp;
+  std::shared_ptr<const VgSolution> pred1, pred2;
+};
+
+using VgPtr = std::shared_ptr<VgSolution>;
+using VgSet = std::vector<VgPtr>;
+
+/// 3-D dominance prune: keep s unless another has cost<=, cap<=, delay<=.
+VgSet Prune(VgSet set) {
+  std::sort(set.begin(), set.end(), [](const VgPtr& a, const VgPtr& b) {
+    if (a->cost != b->cost) return a->cost < b->cost;
+    if (a->cap != b->cap) return a->cap < b->cap;
+    return a->delay < b->delay;
+  });
+  VgSet out;
+  for (VgPtr& s : set) {
+    bool dominated = false;
+    for (const VgPtr& k : out) {
+      if (k->parity == s->parity && k->cost <= s->cost + kEps &&
+          k->cap <= s->cap + kEps && k->delay <= s->delay + kEps) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+struct Context {
+  const RcTree& tree;
+  const RootedTree& rooted;
+  const Technology& tech;
+};
+
+VgSet Solve(Context& ctx, NodeId v) {
+  const RcNode& node = ctx.tree.Node(v);
+  VgSet set;
+  if (ctx.rooted.IsLeaf(v)) {
+    MSN_CHECK_MSG(node.kind == NodeKind::kTerminal,
+                  "non-terminal leaf in van Ginneken traversal");
+    const EffectiveTerminal eff =
+        ResolveTerminal(ctx.tree.Terminal(node.terminal_index));
+    auto s = std::make_shared<VgSolution>();
+    s->cost = ctx.tree.Terminal(node.terminal_index).driver.cost;
+    s->cap = eff.pin_cap;
+    s->delay = eff.is_sink ? eff.downstream_ps : -kInf;
+    s->kind = VgSolution::Kind::kLeaf;
+    s->node = v;
+    set.push_back(std::move(s));
+  } else {
+    // Children solutions, each augmented through its parent edge, joined.
+    bool first = true;
+    for (const NodeId c : ctx.rooted.Children(v)) {
+      VgSet below = Solve(ctx, c);
+      VgSet augmented;
+      augmented.reserve(below.size());
+      const double re = ctx.rooted.ParentRes(c);
+      const double ce = ctx.rooted.ParentCap(c);
+      for (const VgPtr& s : below) {
+        auto a = std::make_shared<VgSolution>();
+        a->cost = s->cost;
+        a->cap = s->cap + ce;
+        a->delay = re * (ce / 2.0 + s->cap) + s->delay;
+        a->parity = s->parity;
+        a->kind = VgSolution::Kind::kAugment;
+        a->node = c;
+        a->pred1 = s;
+        augmented.push_back(std::move(a));
+      }
+      if (first) {
+        set = std::move(augmented);
+        first = false;
+        continue;
+      }
+      VgSet joined;
+      joined.reserve(set.size() * augmented.size());
+      for (const VgPtr& s1 : set) {
+        for (const VgPtr& s2 : augmented) {
+          if (s1->parity != s2->parity) continue;
+          auto j = std::make_shared<VgSolution>();
+          j->cost = s1->cost + s2->cost;
+          j->cap = s1->cap + s2->cap;
+          j->delay = std::max(s1->delay, s2->delay);
+          j->parity = s1->parity;
+          j->kind = VgSolution::Kind::kJoin;
+          j->node = v;
+          j->pred1 = s1;
+          j->pred2 = s2;
+          joined.push_back(std::move(j));
+        }
+      }
+      set = Prune(std::move(joined));
+    }
+    if (node.kind == NodeKind::kInsertion) {
+      VgSet buffered;
+      for (const VgPtr& s : set) {
+        for (std::size_t ri = 0; ri < ctx.tech.repeaters.size(); ++ri) {
+          const Repeater& r = ctx.tech.repeaters[ri];
+          for (const RepeaterOrientation o :
+               {RepeaterOrientation::kASideUp,
+                RepeaterOrientation::kBSideUp}) {
+            if (o == RepeaterOrientation::kBSideUp && r.Symmetric()) break;
+            auto b = std::make_shared<VgSolution>();
+            b->cost = s->cost + r.cost;
+            b->cap = r.CapUp(o);
+            b->delay =
+                r.IntrinsicDown(o) + r.ResDown(o) * s->cap + s->delay;
+            b->parity = r.inverting ? 1 - s->parity : s->parity;
+            b->kind = VgSolution::Kind::kBuffer;
+            b->node = v;
+            b->repeater_index = ri;
+            b->orientation = o;
+            b->pred1 = s;
+            buffered.push_back(std::move(b));
+          }
+        }
+      }
+      set.insert(set.end(), buffered.begin(), buffered.end());
+    }
+  }
+  return Prune(std::move(set));
+}
+
+TradeoffPoint Materialize(Context& ctx, const VgSolution& closed,
+                          double cost, double delay) {
+  TradeoffPoint p{cost,
+                  delay,
+                  RepeaterAssignment(ctx.tree.NumNodes()),
+                  DriverAssignment(ctx.tree.NumTerminals()),
+                  0,
+                  {}};
+  std::vector<const VgSolution*> stack{&closed};
+  while (!stack.empty()) {
+    const VgSolution* s = stack.back();
+    stack.pop_back();
+    if (s->kind == VgSolution::Kind::kBuffer) {
+      const NodeId a_side = s->orientation == RepeaterOrientation::kASideUp
+                                ? ctx.rooted.Parent(s->node)
+                                : ctx.rooted.Children(s->node)[0];
+      p.repeaters.Place(s->node,
+                        PlacedRepeater{s->repeater_index, a_side});
+      ++p.num_repeaters;
+    }
+    if (s->pred1) stack.push_back(s->pred1.get());
+    if (s->pred2) stack.push_back(s->pred2.get());
+  }
+  p.num_repeaters = p.repeaters.CountPlaced();
+  return p;
+}
+
+}  // namespace
+
+VanGinnekenResult RunVanGinneken(const RcTree& tree, const Technology& tech,
+                                 std::size_t source_terminal) {
+  tree.Validate();
+  MSN_CHECK_MSG(source_terminal < tree.NumTerminals(),
+                "source terminal out of range");
+  const EffectiveTerminal src =
+      ResolveTerminal(tree.Terminal(source_terminal));
+  MSN_CHECK_MSG(src.is_source, "selected terminal is not a source");
+
+  const RootedTree rooted(tree, tree.TerminalNode(source_terminal));
+  Context ctx{tree, rooted, tech};
+
+  VgSet below;
+  {
+    // Combine the source's child subtrees (a leaf terminal root has one).
+    bool first = true;
+    const NodeId root = rooted.Root();
+    for (const NodeId c : rooted.Children(root)) {
+      VgSet sub = Solve(ctx, c);
+      VgSet augmented;
+      const double re = rooted.ParentRes(c);
+      const double ce = rooted.ParentCap(c);
+      for (const VgPtr& s : sub) {
+        auto a = std::make_shared<VgSolution>();
+        a->cost = s->cost;
+        a->cap = s->cap + ce;
+        a->delay = re * (ce / 2.0 + s->cap) + s->delay;
+        a->parity = s->parity;
+        a->kind = VgSolution::Kind::kAugment;
+        a->node = c;
+        a->pred1 = s;
+        augmented.push_back(std::move(a));
+      }
+      if (first) {
+        below = std::move(augmented);
+        first = false;
+        continue;
+      }
+      VgSet joined;
+      for (const VgPtr& s1 : below) {
+        for (const VgPtr& s2 : augmented) {
+          if (s1->parity != s2->parity) continue;
+          auto j = std::make_shared<VgSolution>();
+          j->cost = s1->cost + s2->cost;
+          j->cap = s1->cap + s2->cap;
+          j->delay = std::max(s1->delay, s2->delay);
+          j->parity = s1->parity;
+          j->kind = VgSolution::Kind::kJoin;
+          j->pred1 = s1;
+          j->pred2 = s2;
+          joined.push_back(std::move(j));
+        }
+      }
+      below = Prune(std::move(joined));
+    }
+  }
+
+  std::vector<TradeoffPoint> all;
+  for (const VgPtr& s : below) {
+    if (s->parity != 0) continue;  // Inverted polarity at some sink.
+    const double cost = s->cost + tree.Terminal(source_terminal).driver.cost;
+    const double delay =
+        src.arrival_ps + src.driver_intrinsic_ps +
+        src.driver_res * (src.pin_cap + s->cap) + s->delay;
+    all.push_back(Materialize(ctx, *s, cost, delay));
+  }
+
+  VanGinnekenResult result;
+  result.pareto = ParetoByCostDelay(
+      std::move(all), [](const TradeoffPoint& p) { return p.cost; },
+      [](const TradeoffPoint& p) { return p.ard_ps; });
+  return result;
+}
+
+}  // namespace msn

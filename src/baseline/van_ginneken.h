@@ -1,0 +1,38 @@
+// Van Ginneken-style single-source buffer insertion (paper refs [26],[15]).
+//
+// The classic bottom-up DP over (cost, cap, delay) triples: for a net with
+// ONE source, compute the Pareto set of buffer assignments minimizing the
+// maximum augmented source-to-sink delay at each cost.  It is both a
+// comparator substrate (the single-source ancestor the paper generalizes)
+// and a strong cross-check: on a single-source net, MSRI's five-dimensional
+// solutions collapse to these triples and the two algorithms must produce
+// identical cost/delay frontiers (tests/van_ginneken_test.cc).
+//
+// Candidate buffers are the technology's repeaters used in their
+// source-to-sink direction (both orientations of asymmetric repeaters).
+#ifndef MSN_BASELINE_VAN_GINNEKEN_H
+#define MSN_BASELINE_VAN_GINNEKEN_H
+
+#include <vector>
+
+#include "core/msri.h"
+#include "rctree/rctree.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+struct VanGinnekenResult {
+  /// Pareto frontier of (cost, max augmented source-to-sink delay),
+  /// sorted by increasing cost; assignments materialized.
+  std::vector<TradeoffPoint> pareto;
+};
+
+/// Runs the DP from `source_terminal` (must be a source; every other
+/// terminal with is_sink participates as a sink).  Cost accounting matches
+/// RunMsri: terminal default driver costs are included.
+VanGinnekenResult RunVanGinneken(const RcTree& tree, const Technology& tech,
+                                 std::size_t source_terminal);
+
+}  // namespace msn
+
+#endif  // MSN_BASELINE_VAN_GINNEKEN_H

@@ -1,0 +1,58 @@
+// Checked-assertion macros for the msn library.
+//
+// MSN_CHECK fires in all build types and throws msn::CheckError; the library
+// uses it to validate user-supplied structures (trees, libraries, specs)
+// whose violation would otherwise corrupt results silently.  MSN_DCHECK is
+// for internal invariants and compiles out in NDEBUG builds.
+#ifndef MSN_COMMON_CHECK_H
+#define MSN_COMMON_CHECK_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace msn {
+
+/// Thrown when a MSN_CHECK-validated precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void CheckFail(const char* expr, const char* file,
+                                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MSN_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace msn
+
+#define MSN_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::msn::detail::CheckFail(#expr, __FILE__, __LINE__, \
+                                          std::string());            \
+  } while (false)
+
+#define MSN_CHECK_MSG(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      std::ostringstream msn_check_os;                            \
+      msn_check_os << msg;                                        \
+      ::msn::detail::CheckFail(#expr, __FILE__, __LINE__,         \
+                               msn_check_os.str());               \
+    }                                                             \
+  } while (false)
+
+#ifdef NDEBUG
+#define MSN_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define MSN_DCHECK(expr) MSN_CHECK(expr)
+#endif
+
+#endif  // MSN_COMMON_CHECK_H

@@ -1,0 +1,129 @@
+#include "common/interval_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/numeric.h"
+
+namespace msn {
+
+IntervalSet::IntervalSet(double lo, double hi) {
+  if (lo < hi) intervals_.push_back({lo, hi});
+}
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals)
+    : intervals_(std::move(intervals)) {
+  Canonicalize();
+}
+
+IntervalSet IntervalSet::NonNegativeReals() { return IntervalSet(0.0, kInf); }
+
+void IntervalSet::Canonicalize() {
+  std::erase_if(intervals_, [](const Interval& i) { return i.Empty(); });
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> merged;
+  for (const Interval& i : intervals_) {
+    if (!merged.empty() && i.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, i.hi);
+    } else {
+      merged.push_back(i);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+bool IntervalSet::Contains(double x) const {
+  // Binary search for the first interval with lo > x, then check its
+  // predecessor.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), x,
+      [](double v, const Interval& i) { return v < i.lo; });
+  if (it == intervals_.begin()) return false;
+  return std::prev(it)->Contains(x);
+}
+
+double IntervalSet::TotalLength() const {
+  double total = 0.0;
+  for (const Interval& i : intervals_) total += i.Length();
+  return total;
+}
+
+double IntervalSet::Min() const {
+  MSN_CHECK_MSG(!Empty(), "Min() of empty IntervalSet");
+  return intervals_.front().lo;
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  std::vector<Interval> all = intervals_;
+  all.insert(all.end(), other.intervals_.begin(), other.intervals_.end());
+  return IntervalSet(std::move(all));
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  std::vector<Interval> out;
+  auto a = intervals_.begin();
+  auto b = other.intervals_.begin();
+  while (a != intervals_.end() && b != other.intervals_.end()) {
+    const double lo = std::max(a->lo, b->lo);
+    const double hi = std::min(a->hi, b->hi);
+    if (lo < hi) out.push_back({lo, hi});
+    // Advance whichever interval ends first.
+    if (a->hi < b->hi) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  IntervalSet result;
+  result.intervals_ = std::move(out);  // Already disjoint and sorted.
+  return result;
+}
+
+IntervalSet IntervalSet::Subtract(const IntervalSet& other) const {
+  std::vector<Interval> out;
+  auto b = other.intervals_.begin();
+  for (Interval rem : intervals_) {
+    while (!rem.Empty()) {
+      // Skip subtrahend intervals entirely to the left of `rem`.
+      while (b != other.intervals_.end() && b->hi <= rem.lo) ++b;
+      if (b == other.intervals_.end() || b->lo >= rem.hi) {
+        out.push_back(rem);
+        break;
+      }
+      if (b->lo > rem.lo) out.push_back({rem.lo, b->lo});
+      rem.lo = b->hi;  // Continue with the part right of the subtrahend.
+    }
+  }
+  IntervalSet result;
+  result.intervals_ = std::move(out);
+  return result;
+}
+
+IntervalSet IntervalSet::Shift(double delta, double clip_lo) const {
+  std::vector<Interval> out;
+  out.reserve(intervals_.size());
+  for (const Interval& i : intervals_) {
+    const double lo = std::max(i.lo + delta, clip_lo);
+    const double hi = std::isinf(i.hi) ? i.hi : i.hi + delta;
+    if (lo < hi) out.push_back({lo, hi});
+  }
+  IntervalSet result;
+  result.intervals_ = std::move(out);
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& s) {
+  os << '{';
+  bool first = true;
+  for (const Interval& i : s.Intervals()) {
+    if (!first) os << ", ";
+    first = false;
+    os << '[' << i.lo << ", " << i.hi << ')';
+  }
+  return os << '}';
+}
+
+}  // namespace msn

@@ -1,0 +1,35 @@
+// Linear-time computation of the augmented RC-diameter (paper Section III).
+//
+// ARD(T) = max over source u, sink v (u ≠ v) of AT(u) + PD(u,v) + DD(v),
+// where PD is the Elmore path delay including the source's driver and any
+// repeaters on the path (Definition 2.1).
+//
+// One bottom-up/top-down capacitance pass (eqs. (1)–(2), src/elmore/caps.*)
+// followed by a single depth-first combine carrying three values per
+// subtree — max augmented arrival S_v, max augmented sink delay t_v, and
+// internal diameter D_v (Fig. 2) — yields ARD in O(n), demonstrating the
+// paper's second contribution: the multisource measure is asymptotically no
+// harder than a single-source RC radius.
+#ifndef MSN_CORE_ARD_H
+#define MSN_CORE_ARD_H
+
+#include "elmore/delay.h"
+#include "rctree/assignment.h"
+#include "rctree/rctree.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+/// Computes ARD(T) with the linear-time algorithm.  `root` may be any
+/// node (kNoNode picks node 0); the result is root-independent.
+/// Returns ard_ps = -inf and no pair when the net has no source/sink pair.
+ArdResult ComputeArd(const RcTree& tree, const RepeaterAssignment& repeaters,
+                     const DriverAssignment& drivers, const Technology& tech,
+                     NodeId root = kNoNode);
+
+/// Convenience overload: no repeaters, default drivers.
+ArdResult ComputeArd(const RcTree& tree, const Technology& tech);
+
+}  // namespace msn
+
+#endif  // MSN_CORE_ARD_H

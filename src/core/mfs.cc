@@ -1,0 +1,139 @@
+#include "core/mfs.h"
+
+#include <algorithm>
+
+#include "common/numeric.h"
+
+namespace msn {
+namespace {
+
+bool ScalarLeq(double a, double b, double eps) { return a <= b + eps; }
+
+void SortByCostCap(SolutionSet& set) {
+  std::sort(set.begin(), set.end(),
+            [](const SolutionPtr& a, const SolutionPtr& b) {
+              if (a->cost != b->cost) return a->cost < b->cost;
+              return a->cap < b->cap;
+            });
+}
+
+/// All-pairs pruning over `set`, in place; dead entries become nullptr.
+void PairwisePrune(SolutionSet& set, const MfsOptions& options,
+                   MfsStats* stats) {
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (!set[i]) continue;
+    for (std::size_t j = 0; j < set.size(); ++j) {
+      if (i == j || !set[j] || !set[i]) continue;
+      if (stats) ++stats->comparisons;
+      if (PruneByDominance(*set[i], *set[j], options)) {
+        if (stats) ++stats->pruned;
+        set[j] = nullptr;
+      }
+    }
+  }
+}
+
+void CrossPrune(SolutionSet& left, SolutionSet& right,
+                const MfsOptions& options, MfsStats* stats) {
+  for (SolutionPtr& l : left) {
+    if (!l) continue;
+    for (SolutionPtr& r : right) {
+      if (!r || !l) break;
+      if (stats) ++stats->comparisons;
+      if (PruneByDominance(*l, *r, options)) {
+        if (stats) ++stats->pruned;
+        r = nullptr;
+        continue;
+      }
+      if (stats) ++stats->comparisons;
+      if (PruneByDominance(*r, *l, options)) {
+        if (stats) ++stats->pruned;
+        l = nullptr;
+      }
+    }
+  }
+}
+
+void Compact(SolutionSet& set) {
+  std::erase_if(set, [](const SolutionPtr& s) { return s == nullptr; });
+}
+
+void MfsRecurse(SolutionSet& set, const MfsOptions& options,
+                MfsStats* stats) {
+  if (set.size() <= options.base_case) {
+    PairwisePrune(set, options, stats);
+    Compact(set);
+    return;
+  }
+  const std::size_t mid = set.size() / 2;
+  SolutionSet left(set.begin(), set.begin() + static_cast<std::ptrdiff_t>(mid));
+  SolutionSet right(set.begin() + static_cast<std::ptrdiff_t>(mid),
+                    set.end());
+  MfsRecurse(left, options, stats);
+  MfsRecurse(right, options, stats);
+  CrossPrune(left, right, options, stats);
+  Compact(left);
+  Compact(right);
+  set.clear();
+  set.insert(set.end(), left.begin(), left.end());
+  set.insert(set.end(), right.begin(), right.end());
+}
+
+}  // namespace
+
+bool PruneByDominance(const MsriSolution& dominator, MsriSolution& victim,
+                      const MfsOptions& options) {
+  if (victim.valid.Empty()) return true;
+  if (&dominator == &victim) return false;
+  // Parity classes are incomparable: a later inverter turns one into the
+  // feasible class and the other into the infeasible one.
+  if (dominator.parity != victim.parity) return false;
+  if (!ScalarLeq(dominator.cost, victim.cost, options.CostEps())) {
+    return false;
+  }
+  if (!ScalarLeq(dominator.cap, victim.cap, options.CapEps())) return false;
+  if (!ScalarLeq(dominator.stage_span_um, victim.stage_span_um, 1e-6)) {
+    return false;
+  }
+  if (!ScalarLeq(dominator.stage_diam_um, victim.stage_diam_um, 1e-6)) {
+    return false;
+  }
+  if (!ScalarLeq(dominator.sink_delay, victim.sink_delay,
+                 options.DelayEps())) {
+    return false;
+  }
+  if (dominator.valid.Empty()) return false;
+
+  const double delay_eps = options.DelayEps();
+  IntervalSet region = dominator.arr.RegionLessEqual(victim.arr, delay_eps)
+                           .Intersect(dominator.diam.RegionLessEqual(
+                               victim.diam, delay_eps))
+                           .Intersect(dominator.valid);
+  if (region.Empty()) return false;
+  victim.valid = victim.valid.Subtract(region);
+  return victim.valid.Empty();
+}
+
+SolutionSet ComputeMfs(SolutionSet set, const MfsOptions& options,
+                       MfsStats* stats) {
+  std::erase_if(set,
+                [](const SolutionPtr& s) { return !s || s->valid.Empty(); });
+  if (options.mode == MfsOptions::Mode::kOff || set.size() < 2) {
+    SortByCostCap(set);
+    return set;
+  }
+  // Sorting by (cost, cap) first puts likely dominators early, making the
+  // divide-and-conquer discard suboptimal solutions deep in the recursion
+  // (the paper's Section V implementation note).
+  SortByCostCap(set);
+  if (options.mode == MfsOptions::Mode::kQuadratic) {
+    PairwisePrune(set, options, stats);
+    Compact(set);
+  } else {
+    MfsRecurse(set, options, stats);
+  }
+  SortByCostCap(set);
+  return set;
+}
+
+}  // namespace msn

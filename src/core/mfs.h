@@ -1,0 +1,82 @@
+// Minimal functional subset (MFS) pruning — paper Definition 4.3, Fig. 4.
+//
+// A solution s2 is dominated at external capacitance x by s1 when s1 is no
+// worse in all five dimensions: cost, cap, sink_delay (scalars) and
+// arr(x), diam(x) (functions).  Because every upward DP combination is
+// monotone non-decreasing in all five coordinates, s2 can be discarded on
+// exactly the x-region where some valid s1 dominates it; `valid` interval
+// sets record the surviving region per solution.
+//
+// ComputeMfs supports three modes for the ablation study
+// (bench_mfs_ablation):
+//   kOff           — no pruning (exponential growth; small nets only);
+//   kQuadratic     — all-pairs pruning;
+//   kDivideConquer — Fig. 4: split, recurse, cross-prune the survivors,
+//                    targeting fewer pairwise comparisons in practice with
+//                    the same O(n²) worst case.
+#ifndef MSN_CORE_MFS_H
+#define MSN_CORE_MFS_H
+
+#include <cstddef>
+
+#include "core/solution.h"
+
+namespace msn {
+
+struct MfsOptions {
+  enum class Mode { kOff, kQuadratic, kDivideConquer };
+  Mode mode = Mode::kDivideConquer;
+  /// Dominance slack: s1 may be up to eps worse per dimension and still
+  /// prune (bounds the suboptimality of the surviving set by O(eps)).
+  /// The default keeps the DP exact to numerical noise.
+  double eps = 1e-9;
+  /// Per-dimension slacks for *approximate* pruning.  Raising these above
+  /// `eps` trades bounded suboptimality (roughly the slack times the tree
+  /// depth) for much smaller solution sets — the practical escape from
+  /// the pseudopolynomial blowup the paper's Section V notes, needed when
+  /// wire sizing multiplies the per-node state space.  Values <= 0 fall
+  /// back to `eps`.
+  double cost_eps = 0.0;
+  double cap_eps = 0.0;    ///< pF.
+  double delay_eps = 0.0;  ///< ps; applies to sink_delay, arr and diam.
+  /// Divide-and-conquer recursion switches to all-pairs below this size.
+  std::size_t base_case = 8;
+
+  double CostEps() const { return cost_eps > 0.0 ? cost_eps : eps; }
+  double CapEps() const { return cap_eps > 0.0 ? cap_eps : eps; }
+  double DelayEps() const { return delay_eps > 0.0 ? delay_eps : eps; }
+
+  /// A preset that keeps wire-sizing runs tractable on paper-scale nets
+  /// (10 fF / 2 ps / 0.1-cost granularity; the accumulated slack is a few
+  /// percent of the total delay at the paper's tree depths).
+  static MfsOptions Approximate() {
+    MfsOptions o;
+    o.cost_eps = 0.1;
+    o.cap_eps = 0.01;
+    o.delay_eps = 2.0;
+    return o;
+  }
+};
+
+/// Statistics of one ComputeMfs call (accumulated across a DP run).
+struct MfsStats {
+  std::size_t comparisons = 0;  ///< Pairwise dominance tests performed.
+  std::size_t pruned = 0;       ///< Solutions fully invalidated.
+};
+
+/// Prunes `set` to (a superset of) its minimal functional subset.
+/// Solutions whose valid region empties are removed; others may come back
+/// with a reduced `valid`.  Order of survivors: sorted by (cost, cap).
+SolutionSet ComputeMfs(SolutionSet set, const MfsOptions& options,
+                       MfsStats* stats = nullptr);
+
+/// Single dominance test: shrinks victim->valid by the region where
+/// `dominator` (on its own valid region) is no worse in all five
+/// dimensions (up to the per-dimension slacks).  Returns true if the
+/// victim became fully invalid.
+bool PruneByDominance(const MsriSolution& dominator, MsriSolution& victim,
+                      const MfsOptions& options);
+
+}  // namespace msn
+
+#endif  // MSN_CORE_MFS_H

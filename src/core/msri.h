@@ -1,0 +1,144 @@
+// Optimal repeater insertion for multisource nets — the paper's primary
+// contribution (Problem 2.1, Section IV, Figs. 5–10).
+//
+// Given a routing topology with degree-2 insertion points, a repeater
+// library, and terminal parameters, RunMsri performs bottom-up dynamic
+// programming over the tree re-oriented at a root terminal.  Each subtree
+// maintains a minimal functional subset of solutions characterized by
+// (cost, cap, sink_delay, arr(c_E), diam(c_E)) — see src/core/solution.h.
+// The subroutines map one-to-one to the paper's figures:
+//
+//   LeafSolutions     (Fig. 6)  — one solution per terminal driver option;
+//   Augment           (Fig. 10) — extend a subtree by the wire to its
+//                                 parent (shift + add-slope + add-scalar);
+//   JoinSets          (Fig. 7)  — merge sibling subtrees at a branch;
+//   RepeaterSolutions (Fig. 8)  — optionally place each library repeater,
+//                                 in both orientations, at an insertion
+//                                 point (decouples: arr becomes a fresh
+//                                 line, diam becomes a constant);
+//   RootSolutions     (Fig. 9)  — close the recursion at the root terminal
+//                                 and emit (cost, ARD) tradeoff points.
+//
+// The result is the full cost-versus-ARD Pareto frontier with materialized
+// assignments; MinCostFeasible answers the paper's "min cost subject to
+// ARD <= spec" formulation, and setting spec = MinArd() recovers the
+// cost-oblivious minimum-diameter solution.
+//
+// Theorem 4.1 (optimality) is exercised against an exhaustive enumerator
+// in tests/msri_optimality_test.cc.
+#ifndef MSN_CORE_MSRI_H
+#define MSN_CORE_MSRI_H
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/mfs.h"
+#include "core/solution.h"
+#include "rctree/assignment.h"
+#include "rctree/rctree.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+struct MsriOptions {
+  /// Consider placing library repeaters at insertion points.
+  bool insert_repeaters = true;
+  /// Consider re-sizing terminal drivers from `sizing_library`.
+  bool size_drivers = false;
+  /// Driver/receiver realizations offered to every terminal when
+  /// size_drivers is set (see DriverSizingLibrary()).
+  std::vector<TerminalOption> sizing_library;
+  /// Simultaneous discrete wire sizing (paper conclusions, after
+  /// [15],[20]): every wire segment independently picks a width factor
+  /// from `wire_width_choices` (resistance divides by the factor,
+  /// capacitance multiplies), paying `wire_area_cost_per_um` × length ×
+  /// (factor - 1) of extra cost.  Factors must be >= 1 and include the
+  /// minimum width 1.0 (checked).
+  bool size_wires = false;
+  std::vector<double> wire_width_choices = {1.0, 2.0};
+  double wire_area_cost_per_um = 0.0005;
+  /// Slew control: when positive, every unbuffered stage (a maximal
+  /// region not cut by repeaters) must have wire diameter at most this
+  /// many µm — the standard practical proxy for bounding transition
+  /// times ([15]'s slew-aware models motivate it; see
+  /// elmore/moments.h::SlewEstimate for the physical link).  Solutions
+  /// that can no longer be closed within the bound are discarded.
+  double max_stage_length_um = 0.0;
+  /// Wire-area cost increments are rounded to multiples of this quantum.
+  /// Without it nearly every width combination has a distinct cost and
+  /// dominance pruning collapses (the classic wire-sizing blowup the
+  /// paper's pseudopolynomial remark alludes to); with it the DP is exact
+  /// for the quantized objective.  0 disables rounding.
+  double wire_cost_quantum = 0.05;
+  /// Root node; kNoNode roots at terminal 0's node.  Rooting at a terminal
+  /// is required (paper Section IV).
+  NodeId root = kNoNode;
+  MfsOptions mfs;
+  /// Debug/teaching hook: invoked with every node's finalized solution
+  /// set as the bottom-up pass completes it (after MFS pruning).
+  std::function<void(NodeId, const SolutionSet&)> set_observer;
+};
+
+/// One point of the cost-vs-ARD tradeoff suite, with its realization.
+struct TradeoffPoint {
+  double cost = 0.0;
+  double ard_ps = 0.0;
+  RepeaterAssignment repeaters;
+  DriverAssignment drivers;
+  std::size_t num_repeaters = 0;
+  /// Width factor per edge (indexed like RcTree::Edges()); empty unless
+  /// the run sized wires.  Verify with RcTree::WithWireWidths.
+  std::vector<double> wire_widths;
+};
+
+struct MsriStats {
+  std::size_t solutions_generated = 0;
+  std::size_t max_set_size = 0;       ///< Largest per-node set after MFS.
+  std::size_t max_pwl_segments = 0;   ///< Largest PWL encountered.
+  MfsStats mfs;
+};
+
+class MsriResult {
+ public:
+  /// Pareto frontier, sorted by increasing cost (ARD strictly decreasing).
+  const std::vector<TradeoffPoint>& Pareto() const { return pareto_; }
+
+  /// Cheapest point with ARD <= spec_ps; nullptr if the spec is
+  /// unachievable.
+  const TradeoffPoint* MinCostFeasible(double spec_ps) const;
+
+  /// The minimum-ARD point (cost-oblivious optimum); nullptr if empty.
+  const TradeoffPoint* MinArd() const;
+
+  /// The cheapest point (typically the no-repeater solution).
+  const TradeoffPoint* MinCost() const;
+
+  const MsriStats& Stats() const { return stats_; }
+
+ private:
+  friend MsriResult RunMsri(const RcTree&, const Technology&,
+                            const MsriOptions&);
+  std::vector<TradeoffPoint> pareto_;
+  MsriStats stats_;
+};
+
+/// Cost charged for driving a wire of `length_um` at width factor `w`
+/// (extra metal over minimum width), rounded to `quantum` when positive.
+/// Shared by the DP and the exhaustive baseline so both optimize the same
+/// objective.
+inline double WireAreaCost(double rate_per_um, double length_um, double w,
+                           double quantum) {
+  const double raw = rate_per_um * length_um * (w - 1.0);
+  if (quantum <= 0.0) return raw;
+  return std::round(raw / quantum) * quantum;
+}
+
+/// Runs the optimal repeater insertion / driver sizing DP.
+MsriResult RunMsri(const RcTree& tree, const Technology& tech,
+                   const MsriOptions& options = {});
+
+}  // namespace msn
+
+#endif  // MSN_CORE_MSRI_H

@@ -1,0 +1,57 @@
+// Shared 2-D (cost, delay) Pareto filtering.
+//
+// Costs are sums of library prices accumulated in different orders by
+// different candidates, so "equal cost" means equal up to floating-point
+// noise; an exact-compare sort may interleave approximately-equal costs
+// arbitrarily.  The filter below therefore treats eps-equal costs as one
+// class and keeps the best delay within the class — a plain
+// sort-then-keep-first scheme can keep the *worse* representative.
+#ifndef MSN_CORE_PARETO_H
+#define MSN_CORE_PARETO_H
+
+#include <algorithm>
+#include <vector>
+
+#include "common/numeric.h"
+
+namespace msn {
+
+/// Reduces `items` to the (cost, delay) Pareto frontier: strictly
+/// increasing cost, strictly decreasing delay, one representative per
+/// eps-equal cost class.  `cost` and `delay` are projections.
+template <typename T, typename CostFn, typename DelayFn>
+std::vector<T> ParetoByCostDelay(std::vector<T> items, CostFn cost,
+                                 DelayFn delay) {
+  // Exact comparisons keep the comparator a strict weak ordering
+  // (eps-equality is not transitive); eps-equal cost classes are then
+  // grouped in the linear pass, keeping the best delay per class.
+  std::sort(items.begin(), items.end(), [&](const T& a, const T& b) {
+    if (cost(a) != cost(b)) return cost(a) < cost(b);
+    return delay(a) < delay(b);
+  });
+  std::vector<T> pareto;
+  for (T& item : items) {
+    if (!pareto.empty() && ApproxEq(cost(pareto.back()), cost(item))) {
+      if (delay(item) < delay(pareto.back()) - kEps) {
+        pareto.back() = std::move(item);
+      }
+      continue;
+    }
+    if (!pareto.empty() && delay(item) >= delay(pareto.back()) - kEps) {
+      continue;
+    }
+    pareto.push_back(std::move(item));
+  }
+  // A replacement above can make an entry non-improving relative to its
+  // predecessor; squeeze once more.
+  std::vector<T> out;
+  for (T& item : pareto) {
+    if (!out.empty() && delay(item) >= delay(out.back()) - kEps) continue;
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+}  // namespace msn
+
+#endif  // MSN_CORE_PARETO_H

@@ -1,0 +1,214 @@
+#include "core/pwl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace msn {
+namespace {
+
+/// Merged, deduplicated breakpoints of two non-bottom functions.
+std::vector<double> MergedBreakpoints(const Pwl& f, const Pwl& g) {
+  std::vector<double> xs;
+  xs.reserve(f.NumSegments() + g.NumSegments());
+  for (const PwlSegment& s : f.Segments()) xs.push_back(s.x_lo);
+  for (const PwlSegment& s : g.Segments()) xs.push_back(s.x_lo);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  return xs;
+}
+
+void AppendSegment(std::vector<PwlSegment>& out, PwlSegment seg) {
+  if (!out.empty() && out.back().intercept == seg.intercept &&
+      out.back().slope == seg.slope) {
+    return;  // Extends the previous segment; nothing to add.
+  }
+  out.push_back(seg);
+}
+
+}  // namespace
+
+Pwl Pwl::Constant(double v) { return Line(v, 0.0); }
+
+Pwl Pwl::Line(double intercept, double slope) {
+  return Pwl({PwlSegment{0.0, intercept, slope}});
+}
+
+std::size_t Pwl::SegmentIndexAt(double x) const {
+  MSN_DCHECK(!segments_.empty());
+  // Last segment whose x_lo <= x.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), x,
+      [](double v, const PwlSegment& s) { return v < s.x_lo; });
+  MSN_DCHECK(it != segments_.begin());
+  return static_cast<std::size_t>(std::distance(segments_.begin(), it)) - 1;
+}
+
+double Pwl::Eval(double x) const {
+  MSN_CHECK_MSG(x >= 0.0, "Pwl evaluated at negative x = " << x);
+  if (segments_.empty()) return -kInf;
+  return segments_[SegmentIndexAt(x)].ValueAt(x);
+}
+
+Pwl& Pwl::AddScalar(double s) {
+  for (PwlSegment& seg : segments_) seg.intercept += s;
+  return *this;
+}
+
+Pwl& Pwl::AddSlope(double m) {
+  for (PwlSegment& seg : segments_) seg.slope += m;
+  return *this;
+}
+
+Pwl Pwl::Shifted(double delta) const {
+  MSN_CHECK_MSG(delta >= 0.0, "Pwl shift by negative delta = " << delta);
+  if (segments_.empty() || delta == 0.0) return *this;
+  std::vector<PwlSegment> out;
+  out.reserve(segments_.size());
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const PwlSegment& s = segments_[i];
+    const double x_hi =
+        i + 1 < segments_.size() ? segments_[i + 1].x_lo : kInf;
+    if (x_hi <= delta) continue;  // Entirely left of the new origin.
+    PwlSegment t;
+    t.x_lo = std::max(0.0, s.x_lo - delta);
+    // g(x) = f(x + delta) = (intercept + slope*delta) + slope*x.
+    t.intercept = s.intercept + s.slope * delta;
+    t.slope = s.slope;
+    AppendSegment(out, t);
+  }
+  MSN_DCHECK(!out.empty() && out.front().x_lo == 0.0);
+  return Pwl(std::move(out));
+}
+
+Pwl Pwl::Max(const Pwl& f, const Pwl& g) {
+  if (f.IsNegInf()) return g;
+  if (g.IsNegInf()) return f;
+
+  const std::vector<double> xs = MergedBreakpoints(f, g);
+  std::vector<PwlSegment> out;
+  out.reserve(xs.size() + 2);
+
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    const double a = xs[k];
+    const double b = k + 1 < xs.size() ? xs[k + 1] : kInf;
+    const PwlSegment& sf = f.segments_[f.SegmentIndexAt(a)];
+    const PwlSegment& sg = g.segments_[g.SegmentIndexAt(a)];
+    const double di = sf.intercept - sg.intercept;
+    const double ds = sf.slope - sg.slope;
+    // d(x) = di + ds*x is f - g on [a, b).
+    double xc = kInf;
+    if (ds != 0.0) xc = -di / ds;
+
+    auto winner_at = [&](double x0, double x1) -> const PwlSegment& {
+      // Decide by the value at the midpoint (or at x0 + 1 when unbounded).
+      const double mid = std::isinf(x1) ? x0 + 1.0 : (x0 + x1) / 2.0;
+      return di + ds * mid >= 0.0 ? sf : sg;
+    };
+
+    if (xc > a && xc < b) {
+      const PwlSegment& w1 = winner_at(a, xc);
+      AppendSegment(out, {a, w1.intercept, w1.slope});
+      const PwlSegment& w2 = winner_at(xc, b);
+      AppendSegment(out, {xc, w2.intercept, w2.slope});
+    } else {
+      const PwlSegment& w = winner_at(a, b);
+      AppendSegment(out, {a, w.intercept, w.slope});
+    }
+  }
+  return Pwl(std::move(out));
+}
+
+IntervalSet Pwl::RegionLessEqual(const Pwl& g, double eps) const {
+  if (IsNegInf()) return IntervalSet::NonNegativeReals();
+  if (g.IsNegInf()) return IntervalSet();
+
+  std::vector<Interval> where;
+  const std::vector<double> xs = MergedBreakpoints(*this, g);
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    const double a = xs[k];
+    const double b = k + 1 < xs.size() ? xs[k + 1] : kInf;
+    const PwlSegment& sf = segments_[SegmentIndexAt(a)];
+    const PwlSegment& sg = g.segments_[g.SegmentIndexAt(a)];
+    // Condition: (f - g - eps)(x) = di + ds*x <= 0 on [a, b).
+    const double di = sf.intercept - sg.intercept - eps;
+    const double ds = sf.slope - sg.slope;
+    if (ds == 0.0) {
+      if (di <= 0.0) where.push_back({a, b});
+      continue;
+    }
+    const double xc = -di / ds;
+    if (ds > 0.0) {
+      // Satisfied for x <= xc.
+      const double hi = std::min(b, xc);
+      if (a < hi) where.push_back({a, hi});
+    } else {
+      // Satisfied for x >= xc.
+      const double lo = std::max(a, xc);
+      if (lo < b) where.push_back({lo, b});
+    }
+  }
+  return IntervalSet(std::move(where));
+}
+
+void Pwl::Simplify(double eps) {
+  if (segments_.size() < 2) return;
+  std::vector<PwlSegment> out;
+  out.reserve(segments_.size());
+  out.push_back(segments_.front());
+  for (std::size_t i = 1; i < segments_.size(); ++i) {
+    const PwlSegment& s = segments_[i];
+    if (ApproxEq(out.back().intercept, s.intercept, eps) &&
+        ApproxEq(out.back().slope, s.slope, eps)) {
+      continue;
+    }
+    out.push_back(s);
+  }
+  segments_ = std::move(out);
+}
+
+bool Pwl::IsConvexNonDecreasing(double eps) const {
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].slope < -eps) return false;
+    if (i == 0) continue;
+    // Convexity: slopes non-decreasing.
+    if (segments_[i].slope < segments_[i - 1].slope - eps) return false;
+    // Continuity at the breakpoint.
+    const double x = segments_[i].x_lo;
+    if (!ApproxEq(segments_[i].ValueAt(x), segments_[i - 1].ValueAt(x),
+                  std::max(eps, eps * std::fabs(x)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Pwl::ApproxEqual(const Pwl& f, const Pwl& g, double eps) {
+  if (f.IsNegInf() || g.IsNegInf()) return f.IsNegInf() == g.IsNegInf();
+  const std::vector<double> xs = MergedBreakpoints(f, g);
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    const double a = xs[k];
+    const double b = k + 1 < xs.size() ? xs[k + 1] : a + 2.0;
+    const double mid = (a + b) / 2.0;
+    if (!ApproxEq(f.Eval(a), g.Eval(a), eps)) return false;
+    if (!ApproxEq(f.Eval(mid), g.Eval(mid), eps)) return false;
+  }
+  // Tail behaviour: slopes of the last segments must agree.
+  return ApproxEq(f.segments_.back().slope, g.segments_.back().slope, eps);
+}
+
+std::ostream& operator<<(std::ostream& os, const Pwl& f) {
+  if (f.IsNegInf()) return os << "{-inf}";
+  os << '{';
+  const auto& segs = f.Segments();
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    if (i) os << ", ";
+    os << "x>=" << segs[i].x_lo << ": " << segs[i].intercept << '+'
+       << segs[i].slope << "x";
+  }
+  return os << '}';
+}
+
+}  // namespace msn

@@ -1,0 +1,110 @@
+// Piece-wise linear functions of the external capacitance c_E
+// (paper Section IV-C, Definition 4.1 and the primitives of eq. (3)).
+//
+// A Pwl represents a total function on [0, +inf) as a sorted list of line
+// segments (x_lo, intercept, slope); segment i covers
+// [x_lo_i, x_lo_{i+1}) and the last segment extends to +inf.  The empty
+// segment list represents the identically -inf function ("bottom"), used
+// for the arrival function of a sink-only subtree and the diameter of a
+// subtree with no internal source/sink pair.
+//
+// The four primitives the repeater-insertion DP needs (eq. (3)):
+//   Max        — pointwise maximum (JoinSets; critical-source selection),
+//   AddScalar  — add a constant (wire and intrinsic delays),
+//   AddSlope   — add m·x (accumulating upstream resistance),
+//   Shifted    — substitute x -> x + delta (re-expressing a child's
+//                function after the external world gains delta pF).
+// All run in time linear in the number of participating segments.
+//
+// In this DP every Pwl is convex and non-decreasing (maxima of lines under
+// the primitives above stay convex), which keeps segment counts small in
+// practice; the operations below are nevertheless correct for arbitrary
+// piece-wise linear inputs.
+#ifndef MSN_CORE_PWL_H
+#define MSN_CORE_PWL_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "common/interval_set.h"
+#include "common/numeric.h"
+
+namespace msn {
+
+/// One line segment: f(x) = intercept + slope * x for x in
+/// [x_lo, next segment's x_lo).
+struct PwlSegment {
+  double x_lo = 0.0;
+  double intercept = 0.0;
+  double slope = 0.0;
+
+  double ValueAt(double x) const { return intercept + slope * x; }
+
+  friend bool operator==(const PwlSegment&, const PwlSegment&) = default;
+};
+
+class Pwl {
+ public:
+  /// The identically -inf function.
+  Pwl() = default;
+
+  /// The constant function v on [0, inf).
+  static Pwl Constant(double v);
+
+  /// The line intercept + slope·x on [0, inf).
+  static Pwl Line(double intercept, double slope);
+
+  static Pwl NegInf() { return Pwl(); }
+
+  bool IsNegInf() const { return segments_.empty(); }
+  std::size_t NumSegments() const { return segments_.size(); }
+  const std::vector<PwlSegment>& Segments() const { return segments_; }
+
+  /// f(x); x must be >= 0 (checked).  -inf for the bottom function.
+  double Eval(double x) const;
+
+  /// f(x) += s.  No-op on bottom.
+  Pwl& AddScalar(double s);
+
+  /// f(x) += m·x.  No-op on bottom.
+  Pwl& AddSlope(double m);
+
+  /// Returns g with g(x) = f(x + delta); delta must be >= 0 (checked).
+  Pwl Shifted(double delta) const;
+
+  /// Pointwise maximum.
+  static Pwl Max(const Pwl& f, const Pwl& g);
+
+  /// {x >= 0 : f(x) <= g(x) + eps}.  A bottom f yields [0, inf); a bottom
+  /// g (with f not bottom) yields the empty set.
+  IntervalSet RegionLessEqual(const Pwl& g, double eps = 0.0) const;
+
+  /// Merges adjacent segments whose line parameters agree within eps.
+  void Simplify(double eps = kEps);
+
+  /// True iff slopes are non-decreasing and the function is continuous —
+  /// the invariant the repeater-insertion DP maintains (used in tests).
+  bool IsConvexNonDecreasing(double eps = kEps) const;
+
+  /// Value-wise approximate equality (same function up to eps at all
+  /// breakpoints and segment midpoints).
+  static bool ApproxEqual(const Pwl& f, const Pwl& g, double eps = kEps);
+
+ private:
+  /// Constructs from raw segments; callers guarantee canonical form
+  /// (first x_lo == 0, strictly increasing, non-empty or fully empty).
+  explicit Pwl(std::vector<PwlSegment> segments)
+      : segments_(std::move(segments)) {}
+
+  /// The segment covering x (index).  Requires non-empty.
+  std::size_t SegmentIndexAt(double x) const;
+
+  std::vector<PwlSegment> segments_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Pwl& f);
+
+}  // namespace msn
+
+#endif  // MSN_CORE_PWL_H

@@ -1,0 +1,86 @@
+// The dynamic-programming solution characterization of paper Section IV-B.
+//
+// A candidate repeater assignment to a subtree T_v is summarized by five
+// quantities (three scalars, two PWL functions of the external capacitance
+// c_E seen at the subtree's top interface):
+//
+//   cost        — total cost of repeaters and driver choices inside T_v;
+//   cap         — capacitance T_v presents to its parent;
+//   sink_delay  — max augmented delay from the top interface to a sink in
+//                 T_v (scalar: depends only on caps inside T_v);
+//   arr(c_E)    — max augmented arrival time at the top interface from
+//                 sources in T_v (slope = undecoupled upstream resistance);
+//   diam(c_E)   — augmented RC-diameter over source/sink pairs internal to
+//                 T_v (internal paths still see c_E until a repeater above
+//                 their apex decouples them).
+//
+// `valid` is the region of the c_E axis on which the solution has not been
+// proven dominated (the minimal functional subset of Definition 4.3 —
+// pruning may invalidate a solution on part of the domain only).
+//
+// Solutions carry provenance links so a chosen root solution can be
+// materialized into a RepeaterAssignment / DriverAssignment.
+#ifndef MSN_CORE_SOLUTION_H
+#define MSN_CORE_SOLUTION_H
+
+#include <memory>
+#include <vector>
+
+#include "common/interval_set.h"
+#include "common/numeric.h"
+#include "core/pwl.h"
+#include "rctree/rctree.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+struct MsriSolution {
+  // -- The five-dimensional characterization. -----------------------------
+  double cost = 0.0;
+  double cap = 0.0;
+  double sink_delay = -kInf;
+  Pwl arr;   // Bottom (-inf) when T_v holds no source.
+  Pwl diam;  // Bottom when T_v holds no internal source/sink pair.
+  IntervalSet valid = IntervalSet::NonNegativeReals();
+  /// Slew-control bookkeeping (MsriOptions::max_stage_length_um): the
+  /// longest unbuffered wirelength from the top interface down to a
+  /// decoupled point (`stage_span_um`), and the longest unbuffered path
+  /// between any two decoupled points inside the open top region
+  /// (`stage_diam_um`).  Placing a repeater closes the region and must
+  /// find both within the bound; both are monotone, so they join the
+  /// dominance comparison as plain scalars.
+  double stage_span_um = 0.0;
+  double stage_diam_um = 0.0;
+
+  /// Signal-polarity parity of the subtree's terminals relative to the
+  /// top interface (paper Section V inverter extension).  Every terminal
+  /// in a feasible subsolution shares one parity — a mixed join is
+  /// discarded because no inverter above the join can repair it.  An
+  /// inverting repeater at the subtree root flips the bit; the root of
+  /// the whole net requires parity 0.  Solutions of different parity are
+  /// incomparable under MFS dominance.
+  int parity = 0;
+
+  // -- Provenance. ---------------------------------------------------------
+  enum class Kind {
+    kLeaf,      ///< Terminal leaf; `detail` = sizing-library index or npos.
+    kAugment,   ///< Subtree extended by the wire to its parent.
+    kJoin,      ///< Two sibling subtrees merged at a branch point.
+    kRepeater,  ///< Repeater placed at insertion point `node`.
+  };
+  static constexpr std::size_t kNoDetail = static_cast<std::size_t>(-1);
+
+  Kind kind = Kind::kLeaf;
+  NodeId node = kNoNode;
+  std::size_t detail = kNoDetail;
+  RepeaterOrientation orientation = RepeaterOrientation::kASideUp;
+  std::shared_ptr<const MsriSolution> pred1;
+  std::shared_ptr<const MsriSolution> pred2;  ///< Second operand of kJoin.
+};
+
+using SolutionPtr = std::shared_ptr<MsriSolution>;
+using SolutionSet = std::vector<SolutionPtr>;
+
+}  // namespace msn
+
+#endif  // MSN_CORE_SOLUTION_H

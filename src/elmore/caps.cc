@@ -1,0 +1,95 @@
+#include "elmore/caps.h"
+
+#include "common/check.h"
+
+namespace msn {
+
+std::vector<EffectiveTerminal> ResolveTerminals(
+    const RcTree& tree, const DriverAssignment& drivers) {
+  MSN_CHECK_MSG(drivers.NumTerminals() == tree.NumTerminals(),
+                "driver assignment sized for " << drivers.NumTerminals()
+                    << " terminals, tree has " << tree.NumTerminals());
+  std::vector<EffectiveTerminal> resolved;
+  resolved.reserve(tree.NumTerminals());
+  for (std::size_t t = 0; t < tree.NumTerminals(); ++t) {
+    resolved.push_back(drivers.Resolve(tree, t));
+  }
+  return resolved;
+}
+
+CapAnalysis ComputeCaps(const RootedTree& rooted,
+                        const RepeaterAssignment& repeaters,
+                        const DriverAssignment& drivers,
+                        const Technology& tech) {
+  const RcTree& tree = rooted.Tree();
+  MSN_CHECK_MSG(repeaters.NumNodes() == tree.NumNodes(),
+                "repeater assignment sized for " << repeaters.NumNodes()
+                    << " nodes, tree has " << tree.NumNodes());
+  const std::vector<EffectiveTerminal> terms =
+      ResolveTerminals(tree, drivers);
+
+  CapAnalysis caps;
+  caps.cdown.assign(tree.NumNodes(), 0.0);
+  caps.cup.assign(tree.NumNodes(), 0.0);
+  caps.down_load.assign(tree.NumNodes(), 0.0);
+
+  const std::vector<NodeId>& pre = rooted.Preorder();
+
+  // Bottom-up: cdown and down_load (equation (1) generalization).
+  for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
+    const NodeId v = *it;
+    const RcNode& node = tree.Node(v);
+    double below = 0.0;
+    for (NodeId c : rooted.Children(v)) {
+      below += rooted.ParentCap(c) + caps.cdown[c];
+    }
+    double load = below;
+    if (node.kind == NodeKind::kTerminal) {
+      load += terms[node.terminal_index].pin_cap;
+    }
+    caps.down_load[v] = load;
+
+    if (repeaters.Has(v)) {
+      MSN_CHECK_MSG(node.kind == NodeKind::kInsertion,
+                    "repeater placed on non-insertion node " << v);
+      const ResolvedRepeater r = repeaters.Resolve(v, tech);
+      const NodeId parent = rooted.Parent(v);
+      MSN_CHECK_MSG(parent != kNoNode, "repeater at the root");
+      MSN_CHECK_MSG(r.a_side_neighbor == parent ||
+                        (rooted.Children(v).size() == 1 &&
+                         r.a_side_neighbor == rooted.Children(v)[0]),
+                    "repeater orientation does not name a neighbor of node "
+                        << v);
+      caps.cdown[v] = r.CapToward(parent);
+    } else {
+      caps.cdown[v] = load;
+    }
+  }
+
+  // Top-down: cup (equation (2) generalization).  cup[root] stays 0.
+  for (const NodeId v : pre) {
+    const NodeId p = rooted.Parent(v);
+    if (p == kNoNode) continue;
+    if (repeaters.Has(p)) {
+      caps.cup[v] = repeaters.Resolve(p, tech).CapToward(v);
+      continue;
+    }
+    double beyond = 0.0;
+    const RcNode& pnode = tree.Node(p);
+    if (pnode.kind == NodeKind::kTerminal) {
+      beyond += terms[pnode.terminal_index].pin_cap;
+    }
+    for (NodeId sib : rooted.Children(p)) {
+      if (sib == v) continue;
+      beyond += rooted.ParentCap(sib) + caps.cdown[sib];
+    }
+    if (rooted.Parent(p) != kNoNode) {
+      beyond += rooted.ParentCap(p) + caps.cup[p];
+    }
+    caps.cup[v] = beyond;
+  }
+
+  return caps;
+}
+
+}  // namespace msn

@@ -1,0 +1,53 @@
+// Capacitance recurrences of paper Section III, equations (1) and (2).
+//
+// For a rooted tree with a repeater assignment, CapAnalysis holds, per node
+// v (with parent edge e = (p(v), v)):
+//
+//   cdown[v] — the capacitance a signal on edge e sees AT node v looking
+//              into v's subtree: the up-facing input cap of a repeater at
+//              v (decoupling), else pin cap for a leaf terminal, else the
+//              sum over child edges of (wire cap + cdown[child]).
+//   cup[v]   — the capacitance the signal sees BEYOND p(v) when travelling
+//              up edge e: the down-facing input cap of a repeater at p(v),
+//              else p's pin cap (if terminal) plus, for every other child
+//              edge of p, (wire cap + cdown) plus, unless p is the root,
+//              (parent-edge wire cap of p + cup[p]).
+//
+// With these, every Elmore wire-traversal delay in either direction is a
+// local formula — the key to the linear-time ARD computation.
+#ifndef MSN_ELMORE_CAPS_H
+#define MSN_ELMORE_CAPS_H
+
+#include <vector>
+
+#include "rctree/assignment.h"
+#include "rctree/rooted.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+struct CapAnalysis {
+  std::vector<double> cdown;  ///< Indexed by NodeId; see header comment.
+  std::vector<double> cup;    ///< Indexed by NodeId; 0 for the root.
+
+  /// Load a device at `v` drives downward: pin cap (if terminal) plus
+  /// Σ_children (wire cap + cdown).  Precomputed during the bottom-up pass.
+  std::vector<double> down_load;
+};
+
+/// Runs the two recurrences.  `drivers` resolves terminal electricals
+/// (pass a default-constructed DriverAssignment for no sizing).
+/// Repeaters may only sit on insertion points (checked).
+CapAnalysis ComputeCaps(const RootedTree& rooted,
+                        const RepeaterAssignment& repeaters,
+                        const DriverAssignment& drivers,
+                        const Technology& tech);
+
+/// Resolved electricals of every terminal under `drivers`, indexed by
+/// terminal ordinal.
+std::vector<EffectiveTerminal> ResolveTerminals(
+    const RcTree& tree, const DriverAssignment& drivers);
+
+}  // namespace msn
+
+#endif  // MSN_ELMORE_CAPS_H

@@ -1,0 +1,117 @@
+#include "elmore/delay.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/numeric.h"
+#include "elmore/caps.h"
+#include "rctree/rooted.h"
+
+namespace msn {
+
+SourceDelays ComputeSourceDelays(const RcTree& tree,
+                                 std::size_t source_terminal,
+                                 const RepeaterAssignment& repeaters,
+                                 const DriverAssignment& drivers,
+                                 const Technology& tech) {
+  MSN_CHECK_MSG(source_terminal < tree.NumTerminals(),
+                "source terminal out of range");
+  const EffectiveTerminal src = drivers.Resolve(tree, source_terminal);
+  MSN_CHECK_MSG(src.is_source,
+                "terminal " << source_terminal << " is not a source");
+
+  const NodeId root = tree.TerminalNode(source_terminal);
+  const RootedTree rooted(tree, root);
+  const CapAnalysis caps = ComputeCaps(rooted, repeaters, drivers, tech);
+
+  SourceDelays out;
+  out.source_terminal = source_terminal;
+  out.arrival.assign(tree.NumNodes(), -kInf);
+
+  // Arrival *after* any device at the node (what drives the child edges).
+  std::vector<double> launched(tree.NumNodes(), -kInf);
+
+  out.arrival[root] = src.arrival_ps;
+  launched[root] = src.arrival_ps + src.driver_intrinsic_ps +
+                   src.driver_res * caps.down_load[root];
+
+  for (const NodeId v : rooted.Preorder()) {
+    for (const NodeId w : rooted.Children(v)) {
+      const double wire =
+          rooted.ParentRes(w) *
+          (rooted.ParentCap(w) / 2.0 + caps.cdown[w]);
+      out.arrival[w] = launched[v] + wire;
+      if (repeaters.Has(w)) {
+        const ResolvedRepeater r = repeaters.Resolve(w, tech);
+        launched[w] = out.arrival[w] + r.IntrinsicFrom(v) +
+                      r.ResFrom(v) * caps.down_load[w];
+      } else {
+        launched[w] = out.arrival[w];
+      }
+    }
+  }
+  return out;
+}
+
+ArdResult SourceRadius(const RcTree& tree, const SourceDelays& delays,
+                       const DriverAssignment& drivers) {
+  ArdResult best;
+  best.ard_ps = -kInf;
+  for (std::size_t t = 0; t < tree.NumTerminals(); ++t) {
+    if (t == delays.source_terminal) continue;
+    const EffectiveTerminal term = drivers.Resolve(tree, t);
+    if (!term.is_sink) continue;
+    const double d =
+        delays.arrival[tree.TerminalNode(t)] + term.downstream_ps;
+    if (d > best.ard_ps) {
+      best.ard_ps = d;
+      best.critical_source = delays.source_terminal;
+      best.critical_sink = t;
+    }
+  }
+  return best;
+}
+
+CriticalPath TraceCriticalPath(const RcTree& tree, const ArdResult& pair,
+                               const RepeaterAssignment& repeaters,
+                               const DriverAssignment& drivers,
+                               const Technology& tech) {
+  MSN_CHECK_MSG(pair.HasPair(), "no critical pair to trace");
+  const SourceDelays delays = ComputeSourceDelays(
+      tree, pair.critical_source, repeaters, drivers, tech);
+
+  // Walk parent pointers of the source-rooted orientation from the sink
+  // back to the source.
+  const RootedTree rooted(tree, tree.TerminalNode(pair.critical_source));
+  CriticalPath path;
+  path.source_terminal = pair.critical_source;
+  path.sink_terminal = pair.critical_sink;
+  for (NodeId v = tree.TerminalNode(pair.critical_sink); v != kNoNode;
+       v = rooted.Parent(v)) {
+    path.nodes.push_back(v);
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  path.arrival_ps.reserve(path.nodes.size());
+  for (const NodeId v : path.nodes) {
+    path.arrival_ps.push_back(delays.arrival[v]);
+  }
+  path.total_ps = delays.arrival[tree.TerminalNode(pair.critical_sink)] +
+                  drivers.Resolve(tree, pair.critical_sink).downstream_ps;
+  return path;
+}
+
+ArdResult NaiveArd(const RcTree& tree, const RepeaterAssignment& repeaters,
+                   const DriverAssignment& drivers, const Technology& tech) {
+  ArdResult best;
+  best.ard_ps = -kInf;
+  for (std::size_t u = 0; u < tree.NumTerminals(); ++u) {
+    if (!drivers.Resolve(tree, u).is_source) continue;
+    const SourceDelays delays =
+        ComputeSourceDelays(tree, u, repeaters, drivers, tech);
+    const ArdResult radius = SourceRadius(tree, delays, drivers);
+    if (radius.HasPair() && radius.ard_ps > best.ard_ps) best = radius;
+  }
+  return best;
+}
+
+}  // namespace msn

@@ -1,0 +1,77 @@
+// Single-source Elmore delay evaluation and the naive (multi-pass)
+// augmented RC-diameter.
+//
+// ComputeSourceDelays re-roots the tree at one source terminal and walks
+// outward once — the classic linear-time RC-tree delay computation
+// ([18],[21],[25] in the paper) generalized with repeater decoupling.
+// NaiveArd runs it once per source, costing O(k·n); it is the reference
+// implementation the linear-time engine (src/core/ard.*) is validated
+// against, and the baseline of the bench_ard_scaling experiment.
+#ifndef MSN_ELMORE_DELAY_H
+#define MSN_ELMORE_DELAY_H
+
+#include <cstddef>
+#include <vector>
+
+#include "rctree/assignment.h"
+#include "rctree/rctree.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+/// Arrival times (ps) from one source terminal to every node.
+struct SourceDelays {
+  std::size_t source_terminal = 0;
+  /// Arrival at each node's *input* (before any repeater at that node),
+  /// including the source's AT and its driver delay.  Indexed by NodeId.
+  std::vector<double> arrival;
+};
+
+/// One-pass Elmore propagation from `source_terminal` (must have
+/// is_source — checked).
+SourceDelays ComputeSourceDelays(const RcTree& tree,
+                                 std::size_t source_terminal,
+                                 const RepeaterAssignment& repeaters,
+                                 const DriverAssignment& drivers,
+                                 const Technology& tech);
+
+/// Critical source/sink pair and its augmented delay.
+struct ArdResult {
+  double ard_ps = 0.0;
+  std::size_t critical_source = static_cast<std::size_t>(-1);
+  std::size_t critical_sink = static_cast<std::size_t>(-1);
+
+  bool HasPair() const {
+    return critical_source != static_cast<std::size_t>(-1);
+  }
+};
+
+/// Augmented RC-diameter by k single-source passes: O(k·n).
+ArdResult NaiveArd(const RcTree& tree, const RepeaterAssignment& repeaters,
+                   const DriverAssignment& drivers, const Technology& tech);
+
+/// Max augmented sink delay (RC-radius analogue) seen from one source:
+/// max over sink terminals t ≠ source of arrival(t) + DD(t).
+ArdResult SourceRadius(const RcTree& tree, const SourceDelays& delays,
+                       const DriverAssignment& drivers);
+
+/// The node sequence of a critical source/sink pair with per-node arrival
+/// times — the breakdown behind the paper's Fig. 11 annotations.
+struct CriticalPath {
+  std::size_t source_terminal = 0;
+  std::size_t sink_terminal = 0;
+  std::vector<NodeId> nodes;       ///< Source node first, sink node last.
+  std::vector<double> arrival_ps;  ///< Arrival at each node's input.
+  double total_ps = 0.0;           ///< ARD contribution incl. AT and DD.
+};
+
+/// Traces the path of `pair` (which must hold a critical pair — checked)
+/// under the given assignment.
+CriticalPath TraceCriticalPath(const RcTree& tree, const ArdResult& pair,
+                               const RepeaterAssignment& repeaters,
+                               const DriverAssignment& drivers,
+                               const Technology& tech);
+
+}  // namespace msn
+
+#endif  // MSN_ELMORE_DELAY_H

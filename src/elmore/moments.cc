@@ -1,0 +1,188 @@
+#include "elmore/moments.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/numeric.h"
+#include "elmore/caps.h"
+#include "rctree/rooted.h"
+
+namespace msn {
+namespace {
+
+/// Walks one buffered stage (start node to the next repeaters/leaves),
+/// computing stage-local m1/m2 on the pi-lumped model and the global D2M
+/// arrival estimates; recurses into downstream stages.
+struct MomentEngine {
+  const RcTree& tree;
+  const RootedTree& rooted;
+  const RepeaterAssignment& repeaters;
+  const Technology& tech;
+  const CapAnalysis& caps;
+  const std::vector<EffectiveTerminal>& terms;
+  SourceMoments& out;
+
+  /// Node capacitance within the stage that starts at `start`: half of
+  /// every incident in-stage wire, plus the pin or the facing repeater
+  /// input at a stage boundary.
+  double CapAt(NodeId v, NodeId start) const {
+    double cap = 0.0;
+    if (v != start) cap += rooted.ParentCap(v) / 2.0;
+    if (repeaters.Has(v) && v != start) {
+      // Boundary member: the repeater's input facing its parent.
+      return cap + repeaters.Resolve(v, tech).CapToward(rooted.Parent(v));
+    }
+    const RcNode& node = tree.Node(v);
+    if (node.kind == NodeKind::kTerminal) {
+      cap += terms[node.terminal_index].pin_cap;
+    }
+    for (const NodeId c : rooted.Children(v)) {
+      cap += rooted.ParentCap(c) / 2.0;
+    }
+    return cap;
+  }
+
+  bool IsBoundary(NodeId v, NodeId start) const {
+    return v != start && repeaters.Has(v);
+  }
+
+  /// `base_ps` is the accumulated arrival estimate at the stage driver's
+  /// output (AT + intrinsics + upstream stage D2M delays).  The start
+  /// node's out-entries are written only when `write_start` (the global
+  /// source); a buffered stage start keeps the input-side values its
+  /// parent stage recorded, matching SourceDelays::arrival semantics.
+  void ProcessStage(NodeId start, double driver_res, double base_ps,
+                    bool write_start) {
+    // Collect the stage members in preorder (DFS stopping at boundaries).
+    std::vector<NodeId> members;
+    std::vector<NodeId> stack{start};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      members.push_back(v);
+      if (IsBoundary(v, start)) continue;
+      for (const NodeId c : rooted.Children(v)) stack.push_back(c);
+    }
+
+    // Pass 1 (top-down): stage-local m1.  The driver's resistance sees
+    // the whole decoupled stage load.
+    std::vector<double> m1(tree.NumNodes(), 0.0);  // Sparse over members.
+    m1[start] = driver_res * caps.down_load[start];
+    for (const NodeId v : members) {
+      if (v == start) continue;
+      // Members are in preorder, so the parent is already done.
+      m1[v] = m1[rooted.Parent(v)] +
+              rooted.ParentRes(v) *
+                  (rooted.ParentCap(v) / 2.0 + caps.cdown[v]);
+    }
+
+    // Pass 2 (bottom-up): mu[v] = sum of C_k * m1(k) over the stage
+    // subtree of v (the weight m2 accumulates through each resistance).
+    std::vector<double> mu(tree.NumNodes(), 0.0);
+    for (auto it = members.rbegin(); it != members.rend(); ++it) {
+      const NodeId v = *it;
+      double acc = CapAt(v, start) * m1[v];
+      if (!IsBoundary(v, start)) {
+        for (const NodeId c : rooted.Children(v)) acc += mu[c];
+      }
+      mu[v] = acc;
+    }
+
+    // Pass 3 (top-down): stage-local m2 and global delay estimates.
+    std::vector<double> m2(tree.NumNodes(), 0.0);
+    m2[start] = driver_res * mu[start];
+    for (const NodeId v : members) {
+      if (v == start) continue;
+      m2[v] = m2[rooted.Parent(v)] + rooted.ParentRes(v) * mu[v];
+    }
+    for (const NodeId v : members) {
+      if (v == start && !write_start) continue;
+      out.m1[v] = m1[v];
+      out.m2[v] = m2[v];
+      out.delay_ps[v] = base_ps + D2mDelay(m1[v], m2[v]);
+    }
+
+    // Recurse into downstream stages.
+    for (const NodeId v : members) {
+      if (!IsBoundary(v, start)) continue;
+      const ResolvedRepeater r = repeaters.Resolve(v, tech);
+      const NodeId from = rooted.Parent(v);
+      ProcessStage(v, r.ResFrom(from),
+                   out.delay_ps[v] + r.IntrinsicFrom(from),
+                   /*write_start=*/false);
+    }
+  }
+};
+
+}  // namespace
+
+double D2mDelay(double m1, double m2) {
+  constexpr double kLn2 = 0.6931471805599453;
+  if (m2 <= 0.0) return kLn2 * m1;
+  return kLn2 * m1 * m1 / std::sqrt(m2);
+}
+
+double SlewEstimate(double m1, double m2) {
+  constexpr double kLn9 = 2.1972245773362196;
+  const double variance = 2.0 * m2 - m1 * m1;
+  return kLn9 * std::sqrt(std::max(variance, 0.0));
+}
+
+SourceMoments ComputeSourceMoments(const RcTree& tree,
+                                   std::size_t source_terminal,
+                                   const RepeaterAssignment& repeaters,
+                                   const DriverAssignment& drivers,
+                                   const Technology& tech) {
+  MSN_CHECK_MSG(source_terminal < tree.NumTerminals(),
+                "source terminal out of range");
+  const EffectiveTerminal src = drivers.Resolve(tree, source_terminal);
+  MSN_CHECK_MSG(src.is_source,
+                "terminal " << source_terminal << " is not a source");
+
+  const NodeId root = tree.TerminalNode(source_terminal);
+  const RootedTree rooted(tree, root);
+  const CapAnalysis caps = ComputeCaps(rooted, repeaters, drivers, tech);
+  const std::vector<EffectiveTerminal> terms =
+      ResolveTerminals(tree, drivers);
+
+  SourceMoments out;
+  out.source_terminal = source_terminal;
+  out.m1.assign(tree.NumNodes(), 0.0);
+  out.m2.assign(tree.NumNodes(), 0.0);
+  out.delay_ps.assign(tree.NumNodes(), -kInf);
+
+  MomentEngine engine{tree,  rooted, repeaters, tech,
+                      caps,  terms,  out};
+  engine.ProcessStage(root, src.driver_res,
+                      src.arrival_ps + src.driver_intrinsic_ps,
+                      /*write_start=*/true);
+  return out;
+}
+
+ArdResult ComputeArdD2M(const RcTree& tree,
+                        const RepeaterAssignment& repeaters,
+                        const DriverAssignment& drivers,
+                        const Technology& tech) {
+  ArdResult best;
+  best.ard_ps = -kInf;
+  for (std::size_t u = 0; u < tree.NumTerminals(); ++u) {
+    if (!drivers.Resolve(tree, u).is_source) continue;
+    const SourceMoments m =
+        ComputeSourceMoments(tree, u, repeaters, drivers, tech);
+    for (std::size_t t = 0; t < tree.NumTerminals(); ++t) {
+      if (t == u) continue;
+      const EffectiveTerminal term = drivers.Resolve(tree, t);
+      if (!term.is_sink) continue;
+      const double d =
+          m.delay_ps[tree.TerminalNode(t)] + term.downstream_ps;
+      if (d > best.ard_ps) {
+        best.ard_ps = d;
+        best.critical_source = u;
+        best.critical_sink = t;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace msn

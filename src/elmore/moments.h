@@ -1,0 +1,79 @@
+// First and second moments of RC-tree impulse responses, and the D2M
+// delay metric.
+//
+// The Elmore delay is the first moment m1 of the impulse response — a
+// provable *upper bound* on the 50% delay that can be loose near the
+// driver.  The second moment m2 sharpens it: for a source driving an RC
+// tree,
+//
+//   m1(v) = Σ_k R(path ∩ path_k) · C_k                  (Elmore)
+//   m2(v) = Σ_k R(path ∩ path_k) · C_k · m1(k)
+//
+// both computable by two linear passes ([21]-style).  The D2M metric
+// (Alpert et al.), delay ≈ ln 2 · m1² / √m2, tracks SPICE far better for
+// near-driver sinks while matching Elmore asymptotically.
+//
+// This generalizes the ARD beyond Elmore, as the paper's Section III
+// closing remark anticipates: "the ARD is well defined regardless of how
+// PD(u,v) is calculated... [and] can easily be computed in linear time
+// also by depth-first search."  ComputeArdD2M realizes exactly that (one
+// single-source moment pass per source, O(k·n)).
+//
+// Scope: moments are computed per source with repeater decoupling; a
+// repeater stage contributes its intrinsic delay plus the moments of the
+// stage it drives (stages are independent first-order systems, the
+// standard buffered-path approximation).
+#ifndef MSN_ELMORE_MOMENTS_H
+#define MSN_ELMORE_MOMENTS_H
+
+#include <vector>
+
+#include "elmore/delay.h"
+#include "rctree/assignment.h"
+#include "rctree/rctree.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+/// Per-node moments of the response from one source.
+struct SourceMoments {
+  std::size_t source_terminal = 0;
+  /// Stage-local circuit moments at each node's *input* side (a buffered
+  /// node reports the values seen at the repeater input; the source node
+  /// reports the driver-output moments of the first stage).  m2 uses the
+  /// transfer-coefficient convention (E[t²]/2), matching D2mDelay.
+  std::vector<double> m1;  ///< ps.
+  std::vector<double> m2;  ///< ps².
+  /// D2M-based arrival estimate at each node (AT + driver intrinsics +
+  /// Σ per-stage D2M delays), comparable with SourceDelays::arrival
+  /// (except at the source node, which reports the driver-output value).
+  std::vector<double> delay_ps;
+};
+
+/// Computes the moment analysis for `source_terminal`.
+SourceMoments ComputeSourceMoments(const RcTree& tree,
+                                   std::size_t source_terminal,
+                                   const RepeaterAssignment& repeaters,
+                                   const DriverAssignment& drivers,
+                                   const Technology& tech);
+
+/// D2M delay estimate from raw moments: ln2 · m1² / sqrt(m2); falls back
+/// to ln2·m1 when m2 is zero (a zero-resistance path).
+double D2mDelay(double m1, double m2);
+
+/// 10%-90% output transition-time estimate from the response's standard
+/// deviation: slew ≈ ln9 · sqrt(2·m2 - m1²).  Exact for a single-pole
+/// stage (σ = τ, 10-90 slew = ln9 · τ); the moment-matching estimate the
+/// slew-aware buffer models of the paper's ref [15] build on.
+double SlewEstimate(double m1, double m2);
+
+/// Augmented RC-diameter under the D2M metric: max over source/sink pairs
+/// of AT(u) + D2M path estimate + DD(v).  O(k·n).
+ArdResult ComputeArdD2M(const RcTree& tree,
+                        const RepeaterAssignment& repeaters,
+                        const DriverAssignment& drivers,
+                        const Technology& tech);
+
+}  // namespace msn
+
+#endif  // MSN_ELMORE_MOMENTS_H

@@ -1,0 +1,71 @@
+#include "elmore/pairwise.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/numeric.h"
+#include "elmore/delay.h"
+
+namespace msn {
+
+PairDelayMatrix AllPairDelays(const RcTree& tree,
+                              const RepeaterAssignment& repeaters,
+                              const DriverAssignment& drivers,
+                              const Technology& tech) {
+  const std::size_t k = tree.NumTerminals();
+  PairDelayMatrix m;
+  m.num_terminals = k;
+  m.delay_ps.assign(k * k, -kInf);
+  for (std::size_t u = 0; u < k; ++u) {
+    if (!drivers.Resolve(tree, u).is_source) continue;
+    const SourceDelays d =
+        ComputeSourceDelays(tree, u, repeaters, drivers, tech);
+    for (std::size_t v = 0; v < k; ++v) {
+      if (v == u) continue;
+      const EffectiveTerminal sink = drivers.Resolve(tree, v);
+      if (!sink.is_sink) continue;
+      m.delay_ps[u * k + v] =
+          d.arrival[tree.TerminalNode(v)] + sink.downstream_ps;
+    }
+  }
+  return m;
+}
+
+std::vector<ConstraintViolation> CheckConstraints(
+    const RcTree& tree, const RepeaterAssignment& repeaters,
+    const DriverAssignment& drivers, const Technology& tech,
+    const std::vector<PairConstraint>& constraints) {
+  const PairDelayMatrix m =
+      AllPairDelays(tree, repeaters, drivers, tech);
+  std::vector<ConstraintViolation> violations;
+  for (const PairConstraint& c : constraints) {
+    MSN_CHECK_MSG(c.source < tree.NumTerminals() &&
+                      c.sink < tree.NumTerminals(),
+                  "constraint terminal out of range");
+    MSN_CHECK_MSG(c.source != c.sink, "self-pair constraint");
+    const double actual = m.At(c.source, c.sink);
+    MSN_CHECK_MSG(actual != -kInf,
+                  "constraint on non-source/non-sink pair ("
+                      << c.source << ", " << c.sink << ")");
+    if (actual > c.bound_ps + kEps) {
+      violations.push_back(ConstraintViolation{c, actual});
+    }
+  }
+  std::sort(violations.begin(), violations.end(),
+            [](const ConstraintViolation& a, const ConstraintViolation& b) {
+              return a.SlackPs() < b.SlackPs();
+            });
+  return violations;
+}
+
+double ArdImpliedBound(const RcTree& tree, std::size_t source,
+                       std::size_t sink, double spec_ps) {
+  MSN_CHECK_MSG(source < tree.NumTerminals() && sink < tree.NumTerminals(),
+                "terminal out of range");
+  // Effective AT/DD (default realizations), consistent with the delay
+  // matrix: the remaining budget bounds the driver+wire+repeater path.
+  return spec_ps - ResolveTerminal(tree.Terminal(source)).arrival_ps -
+         ResolveTerminal(tree.Terminal(sink)).downstream_ps;
+}
+
+}  // namespace msn

@@ -1,0 +1,184 @@
+#include "flow/budget.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/numeric.h"
+
+namespace msn {
+namespace {
+
+void ValidateFrontiers(const std::vector<Frontier>& nets) {
+  MSN_CHECK_MSG(!nets.empty(), "no nets to budget");
+  for (std::size_t k = 0; k < nets.size(); ++k) {
+    MSN_CHECK_MSG(!nets[k].empty(), "net " << k << " has an empty frontier");
+    for (std::size_t i = 1; i < nets[k].size(); ++i) {
+      MSN_CHECK_MSG(nets[k][i].cost > nets[k][i - 1].cost,
+                    "net " << k << " frontier costs must increase");
+      MSN_CHECK_MSG(nets[k][i].delay_ps < nets[k][i - 1].delay_ps,
+                    "net " << k << " frontier delays must decrease");
+    }
+  }
+}
+
+Allocation Summarize(const std::vector<Frontier>& nets,
+                     std::vector<std::size_t> choice) {
+  Allocation a;
+  a.choice = std::move(choice);
+  for (std::size_t k = 0; k < nets.size(); ++k) {
+    const CostDelay& p = nets[k][a.choice[k]];
+    a.total_cost += p.cost;
+    a.sum_delay_ps += p.delay_ps;
+    a.worst_delay_ps = std::max(a.worst_delay_ps, p.delay_ps);
+  }
+  return a;
+}
+
+}  // namespace
+
+Frontier FrontierOf(const MsriResult& result) {
+  Frontier f;
+  f.reserve(result.Pareto().size());
+  for (const TradeoffPoint& p : result.Pareto()) {
+    f.push_back(CostDelay{p.cost, p.ard_ps});
+  }
+  return f;
+}
+
+std::optional<Allocation> AllocateMinMax(
+    const std::vector<Frontier>& nets, double budget) {
+  ValidateFrontiers(nets);
+
+  // Cheapest cost at which net k meets delay target T (or nullopt).
+  auto cost_for = [](const Frontier& f, double target) -> std::optional<double> {
+    for (const CostDelay& p : f) {
+      if (LessOrApprox(p.delay_ps, target)) return p.cost;
+    }
+    return std::nullopt;
+  };
+
+  // Candidate targets: every delay on any frontier.  Feasibility of a
+  // target is monotone, so take the smallest feasible candidate.
+  std::vector<double> targets;
+  for (const Frontier& f : nets) {
+    for (const CostDelay& p : f) targets.push_back(p.delay_ps);
+  }
+  std::sort(targets.begin(), targets.end());
+
+  // Binary search the first feasible target.
+  std::size_t lo = 0, hi = targets.size();
+  auto feasible = [&](double target) {
+    double total = 0.0;
+    for (const Frontier& f : nets) {
+      const auto c = cost_for(f, target);
+      if (!c) return false;
+      total += *c;
+    }
+    return LessOrApprox(total, budget);
+  };
+  if (!feasible(targets.back())) return std::nullopt;
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (feasible(targets[mid])) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  const double target = feasible(targets[lo]) ? targets[lo] : targets[hi];
+
+  std::vector<std::size_t> choice(nets.size(), 0);
+  for (std::size_t k = 0; k < nets.size(); ++k) {
+    for (std::size_t i = 0; i < nets[k].size(); ++i) {
+      if (LessOrApprox(nets[k][i].delay_ps, target)) {
+        choice[k] = i;
+        break;
+      }
+    }
+  }
+  return Summarize(nets, std::move(choice));
+}
+
+std::optional<Allocation> AllocateMinSum(
+    const std::vector<Frontier>& nets, double budget,
+    double cost_quantum) {
+  ValidateFrontiers(nets);
+  MSN_CHECK_MSG(cost_quantum > 0.0, "cost quantum must be positive");
+
+  auto quantize = [&](double cost) {
+    const double q = cost / cost_quantum;
+    const auto iq = static_cast<long long>(std::llround(q));
+    MSN_CHECK_MSG(std::fabs(q - static_cast<double>(iq)) < 1e-6,
+                  "cost " << cost << " is off the " << cost_quantum
+                          << " quantum grid");
+    return iq;
+  };
+
+  long long min_total = 0;
+  for (const Frontier& f : nets) min_total += quantize(f.front().cost);
+  const auto budget_q =
+      static_cast<long long>(std::floor(budget / cost_quantum + 1e-9));
+  if (budget_q < min_total) return std::nullopt;
+
+  // Shift each net's costs by its minimum so the DP budget axis only
+  // carries the *discretionary* spending.
+  const long long slack = budget_q - min_total;
+  MSN_CHECK_MSG(slack <= 1'000'000,
+                "budget DP would need " << slack << " cells; quantize "
+                                           "coarser or lower the budget");
+  const auto width = static_cast<std::size_t>(slack) + 1;
+
+  constexpr double kBig = std::numeric_limits<double>::infinity();
+  std::vector<double> best(width, 0.0);
+  // choice_table[k][b] = frontier index chosen for net k at budget b.
+  std::vector<std::vector<std::size_t>> choice_table(
+      nets.size(), std::vector<std::size_t>(width, 0));
+
+  for (std::size_t k = 0; k < nets.size(); ++k) {
+    const Frontier& f = nets[k];
+    const long long base = quantize(f.front().cost);
+    std::vector<double> next(width, kBig);
+    for (std::size_t b = 0; b < width; ++b) {
+      if (best[b] == kBig) continue;
+      for (std::size_t i = 0; i < f.size(); ++i) {
+        const auto extra =
+            static_cast<std::size_t>(quantize(f[i].cost) - base);
+        if (b + extra >= width) break;  // Frontier costs increase.
+        const double sum = best[b] + f[i].delay_ps;
+        if (sum < next[b + extra]) {
+          next[b + extra] = sum;
+          choice_table[k][b + extra] = i;
+        }
+      }
+    }
+    // A bigger budget is never worse: make the row monotone, keeping the
+    // realizing choice.
+    for (std::size_t b = 1; b < width; ++b) {
+      if (next[b - 1] < next[b]) {
+        next[b] = next[b - 1];
+        choice_table[k][b] = std::numeric_limits<std::size_t>::max();
+      }
+    }
+    best = std::move(next);
+  }
+
+  // Reconstruct from the last column.
+  std::vector<std::size_t> choice(nets.size(), 0);
+  std::size_t b = width - 1;
+  for (std::size_t k = nets.size(); k-- > 0;) {
+    // Resolve "inherited from smaller budget" markers.
+    while (choice_table[k][b] == std::numeric_limits<std::size_t>::max()) {
+      MSN_DCHECK(b > 0);
+      --b;
+    }
+    const std::size_t i = choice_table[k][b];
+    choice[k] = i;
+    const long long base = quantize(nets[k].front().cost);
+    b -= static_cast<std::size_t>(quantize(nets[k][i].cost) - base);
+  }
+  return Summarize(nets, std::move(choice));
+}
+
+}  // namespace msn

@@ -1,0 +1,63 @@
+// Chip-level repeater budgeting across many nets.
+//
+// A physical-design flow rarely optimizes one bus in isolation: a block
+// has a total repeater-area budget to split across its nets.  Because
+// RunMsri returns each net's full cost-vs-ARD Pareto frontier
+// (the paper's "suite of solutions" — exactly what this layer needs),
+// budgeting reduces to picking one frontier point per net:
+//
+//   min-max:  minimize the worst ARD over all nets subject to
+//             Σ cost <= budget — solved exactly by searching the
+//             candidate ARD levels (feasibility is monotone in the
+//             target);
+//   min-sum:  minimize Σ ARD subject to Σ cost <= budget — solved
+//             exactly by a grouped knapsack over quantized costs
+//             (library costs are multiples of the 1X buffer).
+#ifndef MSN_FLOW_BUDGET_H
+#define MSN_FLOW_BUDGET_H
+
+#include <optional>
+#include <vector>
+
+#include "core/msri.h"
+
+namespace msn {
+
+/// One frontier point (cost strictly increasing, delay strictly
+/// decreasing within a net's frontier).
+struct CostDelay {
+  double cost = 0.0;
+  double delay_ps = 0.0;
+};
+
+/// A net's frontier in allocator form.
+using Frontier = std::vector<CostDelay>;
+
+/// Extracts the allocator view of an optimizer result.
+Frontier FrontierOf(const MsriResult& result);
+
+/// A budget split: `choice[k]` indexes net k's frontier.
+struct Allocation {
+  std::vector<std::size_t> choice;
+  double total_cost = 0.0;
+  double worst_delay_ps = 0.0;
+  double sum_delay_ps = 0.0;
+};
+
+/// Minimizes the worst per-net delay subject to Σ cost <= budget.
+/// Returns nullopt when even the cheapest points exceed the budget.
+/// Every frontier must be non-empty and strictly monotone (checked).
+std::optional<Allocation> AllocateMinMax(
+    const std::vector<Frontier>& nets, double budget);
+
+/// Minimizes the sum of per-net delays subject to Σ cost <= budget,
+/// exactly, over costs quantized to `cost_quantum` (costs must land on
+/// the quantum grid within 1e-6 — checked; the default matches repeater
+/// libraries priced in whole 1X buffers).
+std::optional<Allocation> AllocateMinSum(
+    const std::vector<Frontier>& nets, double budget,
+    double cost_quantum = 1.0);
+
+}  // namespace msn
+
+#endif  // MSN_FLOW_BUDGET_H

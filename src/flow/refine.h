@@ -1,0 +1,48 @@
+// ARD-driven topology refinement.
+//
+// The paper's conclusions call out that "a multisource version of the
+// P-Tree timing-driven Steiner router is now possible" given the ARD
+// machinery.  This module is the first practical step: local search over
+// the routing topology itself, using the linear-time unbuffered ARD as
+// the objective.  Moves re-attach one degree-1 terminal to a different
+// tree node; each candidate is scored with one O(n) ARD evaluation, and
+// the best improving move per pass is accepted until a local optimum.
+//
+// Geometry stays honest: a re-attached edge is embedded at the
+// rectilinear distance between its endpoints, so wirelength may grow
+// when that buys diameter — exactly the wirelength-versus-delay tradeoff
+// a timing-driven router navigates.
+#ifndef MSN_FLOW_REFINE_H
+#define MSN_FLOW_REFINE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "steiner/topology.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+struct RefineOptions {
+  /// Upper bound on accepted moves (each pass accepts at most one).
+  std::size_t max_moves = 32;
+};
+
+struct RefineResult {
+  SteinerTree tree;
+  double initial_ard_ps = 0.0;
+  double final_ard_ps = 0.0;
+  std::size_t moves_accepted = 0;
+  std::size_t moves_evaluated = 0;
+};
+
+/// Refines `initial` for the unbuffered ARD under `tech`, with one
+/// TerminalParams per Steiner-tree terminal (checked).
+RefineResult RefineTopologyForArd(
+    const SteinerTree& initial, const Technology& tech,
+    const std::vector<TerminalParams>& terminals,
+    const RefineOptions& options = {});
+
+}  // namespace msn
+
+#endif  // MSN_FLOW_REFINE_H

@@ -1,0 +1,50 @@
+#include "geom/hanan.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace msn {
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+std::vector<Point> HananGrid(const std::vector<Point>& terminals) {
+  std::vector<std::int64_t> xs, ys;
+  xs.reserve(terminals.size());
+  ys.reserve(terminals.size());
+  for (const Point& t : terminals) {
+    xs.push_back(t.x);
+    ys.push_back(t.y);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  std::vector<Point> grid;
+  grid.reserve(xs.size() * ys.size());
+  for (std::int64_t x : xs) {
+    for (std::int64_t y : ys) grid.push_back({x, y});
+  }
+  std::sort(grid.begin(), grid.end());
+  return grid;
+}
+
+std::vector<Point> HananCandidates(const std::vector<Point>& terminals) {
+  std::vector<Point> grid = HananGrid(terminals);
+  std::vector<Point> sorted_terminals = terminals;
+  std::sort(sorted_terminals.begin(), sorted_terminals.end());
+  sorted_terminals.erase(
+      std::unique(sorted_terminals.begin(), sorted_terminals.end()),
+      sorted_terminals.end());
+
+  std::vector<Point> candidates;
+  candidates.reserve(grid.size());
+  std::set_difference(grid.begin(), grid.end(), sorted_terminals.begin(),
+                      sorted_terminals.end(),
+                      std::back_inserter(candidates));
+  return candidates;
+}
+
+}  // namespace msn

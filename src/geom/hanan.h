@@ -1,0 +1,26 @@
+// Hanan grid construction.
+//
+// The Hanan grid of a terminal set is the set of intersection points of the
+// horizontal and vertical lines through the terminals.  Hanan's theorem
+// guarantees an optimal rectilinear Steiner minimal tree exists whose
+// Steiner points all lie on this grid, so the iterated 1-Steiner heuristic
+// (src/steiner/one_steiner.*) only ever considers Hanan candidates.
+#ifndef MSN_GEOM_HANAN_H
+#define MSN_GEOM_HANAN_H
+
+#include <vector>
+
+#include "geom/point.h"
+
+namespace msn {
+
+/// Returns all Hanan grid points of `terminals`, excluding the terminals
+/// themselves.  Result is sorted lexicographically and duplicate-free.
+std::vector<Point> HananCandidates(const std::vector<Point>& terminals);
+
+/// Returns the full Hanan grid (terminals included), sorted and unique.
+std::vector<Point> HananGrid(const std::vector<Point>& terminals);
+
+}  // namespace msn
+
+#endif  // MSN_GEOM_HANAN_H

@@ -1,0 +1,74 @@
+// Planar geometry primitives on the routing grid.
+//
+// Coordinates are integer micrometres; the paper's experiments place
+// terminals on a 1 cm × 1 cm grid, i.e. coordinates in [0, 10000].
+// Integer coordinates make Hanan-grid and Steiner constructions exact.
+#ifndef MSN_GEOM_POINT_H
+#define MSN_GEOM_POINT_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iosfwd>
+
+namespace msn {
+
+/// A point on the routing plane, in micrometres.
+struct Point {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+  /// Lexicographic order (x, then y); used for canonical sorting.
+  friend auto operator<=>(const Point&, const Point&) = default;
+};
+
+/// Rectilinear (Manhattan, L1) distance between two points, in µm.
+inline std::int64_t ManhattanDistance(const Point& a, const Point& b) {
+  return std::llabs(a.x - b.x) + std::llabs(a.y - b.y);
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  Point lo;  ///< Minimum corner.
+  Point hi;  ///< Maximum corner.
+
+  /// Half-perimeter wirelength lower bound of the box.
+  std::int64_t HalfPerimeter() const {
+    return (hi.x - lo.x) + (hi.y - lo.y);
+  }
+  bool Contains(const Point& p) const {
+    return lo.x <= p.x && p.x <= hi.x && lo.y <= p.y && p.y <= hi.y;
+  }
+};
+
+/// Bounding box of a range of points (range must be non-empty — checked).
+template <typename Range>
+BoundingBox ComputeBoundingBox(const Range& points) {
+  auto it = std::begin(points);
+  BoundingBox box{*it, *it};
+  for (; it != std::end(points); ++it) {
+    box.lo.x = it->x < box.lo.x ? it->x : box.lo.x;
+    box.lo.y = it->y < box.lo.y ? it->y : box.lo.y;
+    box.hi.x = it->x > box.hi.x ? it->x : box.hi.x;
+    box.hi.y = it->y > box.hi.y ? it->y : box.hi.y;
+  }
+  return box;
+}
+
+}  // namespace msn
+
+template <>
+struct std::hash<msn::Point> {
+  std::size_t operator()(const msn::Point& p) const noexcept {
+    // Splitmix-style mixing of the two coordinates.
+    std::uint64_t h = static_cast<std::uint64_t>(p.x) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<std::uint64_t>(p.y) + 0x9E3779B97F4A7C15ull +
+         (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+#endif  // MSN_GEOM_POINT_H

@@ -1,0 +1,255 @@
+#include "io/netfile.h"
+
+#include <limits>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace msn {
+namespace {
+
+const char* KindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kTerminal: return "terminal";
+    case NodeKind::kSteiner: return "steiner";
+    case NodeKind::kInsertion: return "insertion";
+  }
+  return "?";
+}
+
+NodeKind ParseKind(const std::string& token, std::size_t line) {
+  if (token == "terminal") return NodeKind::kTerminal;
+  if (token == "steiner") return NodeKind::kSteiner;
+  if (token == "insertion") return NodeKind::kInsertion;
+  MSN_CHECK_MSG(false, "line " << line << ": unknown node kind '" << token
+                               << "'");
+  return NodeKind::kSteiner;
+}
+
+}  // namespace
+
+void WriteNet(std::ostream& os, const RcTree& tree) {
+  // Full round-trip precision: re-reading must reproduce the same doubles.
+  const auto old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << "msn-net 1\n";
+  os << "wire " << tree.Wire().res_per_um << ' ' << tree.Wire().cap_per_um
+     << '\n';
+  for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+    const RcNode& n = tree.Node(v);
+    os << "node " << v << ' ' << KindName(n.kind) << ' ' << n.pos.x << ' '
+       << n.pos.y << '\n';
+  }
+  for (std::size_t t = 0; t < tree.NumTerminals(); ++t) {
+    const TerminalParams& p = tree.Terminal(t);
+    os << "terminal " << tree.TerminalNode(t) << ' ' << p.arrival_ps << ' '
+       << p.downstream_ps << ' ' << (p.is_source ? 1 : 0) << ' '
+       << (p.is_sink ? 1 : 0) << ' ' << p.driver.pin_cap << ' '
+       << p.driver.driver_res << ' ' << p.driver.driver_intrinsic_ps << ' '
+       << p.driver.arrival_extra_ps << ' ' << p.driver.downstream_extra_ps
+       << ' ' << p.driver.cost << '\n';
+  }
+  for (const RcEdge& e : tree.Edges()) {
+    os << "edge " << e.a << ' ' << e.b << ' ' << e.length_um << '\n';
+  }
+  os << "end\n";
+  os.precision(old_precision);
+}
+
+RcTree ReadNet(std::istream& is) {
+  struct NodeRecord {
+    NodeKind kind;
+    Point pos;
+  };
+  struct EdgeRecord {
+    NodeId a, b;
+    double length;
+  };
+
+  std::optional<WireParams> wire;
+  std::map<NodeId, NodeRecord> nodes;
+  std::map<NodeId, TerminalParams> terminals;
+  std::vector<EdgeRecord> edges;
+  bool saw_header = false;
+  bool saw_end = false;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (!saw_end && std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;  // Blank or comment-only.
+
+    if (tag == "msn-net") {
+      int version = 0;
+      MSN_CHECK_MSG(static_cast<bool>(ls >> version) && version == 1,
+                    "line " << line_no << ": unsupported msn-net version");
+      saw_header = true;
+      continue;
+    }
+    MSN_CHECK_MSG(saw_header,
+                  "line " << line_no << ": missing 'msn-net 1' header");
+    if (tag == "wire") {
+      WireParams w;
+      MSN_CHECK_MSG(static_cast<bool>(ls >> w.res_per_um >> w.cap_per_um),
+                    "line " << line_no << ": malformed wire record");
+      wire = w;
+    } else if (tag == "node") {
+      NodeId id;
+      std::string kind;
+      NodeRecord rec;
+      MSN_CHECK_MSG(static_cast<bool>(ls >> id >> kind >> rec.pos.x >>
+                                      rec.pos.y),
+                    "line " << line_no << ": malformed node record");
+      rec.kind = ParseKind(kind, line_no);
+      MSN_CHECK_MSG(nodes.emplace(id, rec).second,
+                    "line " << line_no << ": duplicate node " << id);
+    } else if (tag == "terminal") {
+      NodeId id;
+      TerminalParams p;
+      int is_source = 1, is_sink = 1;
+      MSN_CHECK_MSG(
+          static_cast<bool>(
+              ls >> id >> p.arrival_ps >> p.downstream_ps >> is_source >>
+              is_sink >> p.driver.pin_cap >> p.driver.driver_res >>
+              p.driver.driver_intrinsic_ps >> p.driver.arrival_extra_ps >>
+              p.driver.downstream_extra_ps >> p.driver.cost),
+          "line " << line_no << ": malformed terminal record");
+      p.is_source = is_source != 0;
+      p.is_sink = is_sink != 0;
+      p.driver.name = "from-file";
+      MSN_CHECK_MSG(terminals.emplace(id, p).second,
+                    "line " << line_no << ": duplicate terminal at node "
+                            << id);
+    } else if (tag == "edge") {
+      EdgeRecord e;
+      MSN_CHECK_MSG(static_cast<bool>(ls >> e.a >> e.b >> e.length),
+                    "line " << line_no << ": malformed edge record");
+      edges.push_back(e);
+    } else if (tag == "end") {
+      saw_end = true;
+    } else {
+      MSN_CHECK_MSG(false,
+                    "line " << line_no << ": unknown record '" << tag << "'");
+    }
+  }
+  MSN_CHECK_MSG(saw_end, "missing 'end' record");
+  MSN_CHECK_MSG(wire.has_value(), "missing wire record");
+  MSN_CHECK_MSG(!nodes.empty(), "net has no nodes");
+
+  // Ids must be dense 0..n-1 (std::map iterates in order).
+  NodeId expected = 0;
+  for (const auto& [id, rec] : nodes) {
+    MSN_CHECK_MSG(id == expected, "node ids must be dense; missing node "
+                                      << expected);
+    ++expected;
+  }
+
+  RcTree tree(*wire);
+  for (const auto& [id, rec] : nodes) {
+    if (rec.kind == NodeKind::kTerminal) {
+      const auto it = terminals.find(id);
+      MSN_CHECK_MSG(it != terminals.end(),
+                    "terminal node " << id << " has no terminal record");
+      tree.AddTerminal(it->second, rec.pos);
+    } else {
+      tree.AddNode(rec.kind, rec.pos);
+    }
+  }
+  MSN_CHECK_MSG(terminals.size() == tree.NumTerminals(),
+                "terminal record for a non-terminal node");
+  for (const EdgeRecord& e : edges) {
+    tree.AddEdge(e.a, e.b, e.length);
+  }
+  tree.Validate();
+  return tree;
+}
+
+void WriteSolution(std::ostream& os, const RcTree& tree,
+                   const TradeoffPoint& point) {
+  const auto old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+    if (!point.repeaters.Has(v)) continue;
+    const PlacedRepeater& r = *point.repeaters.At(v);
+    os << "repeater " << v << ' ' << r.repeater_index << ' '
+       << r.a_side_neighbor << '\n';
+  }
+  for (std::size_t t = 0; t < point.drivers.NumTerminals(); ++t) {
+    if (!point.drivers.At(t)) continue;
+    const TerminalOption& o = *point.drivers.At(t);
+    os << "driver " << t << ' ' << o.cost << ' ' << o.arrival_extra_ps
+       << ' ' << o.driver_res << ' ' << o.driver_intrinsic_ps << ' '
+       << o.pin_cap << ' ' << o.downstream_extra_ps << ' '
+       << (o.name.empty() ? "unnamed" : o.name) << '\n';
+  }
+  for (std::size_t e = 0; e < point.wire_widths.size(); ++e) {
+    if (point.wire_widths[e] == 1.0) continue;
+    os << "width " << e << ' ' << point.wire_widths[e] << '\n';
+  }
+  os.precision(old_precision);
+}
+
+SolutionFile ReadSolution(std::istream& is, const RcTree& tree) {
+  SolutionFile sol(tree);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;
+    if (tag == "repeater") {
+      NodeId v, a_side;
+      std::size_t index;
+      MSN_CHECK_MSG(static_cast<bool>(ls >> v >> index >> a_side),
+                    "line " << line_no << ": malformed repeater record");
+      MSN_CHECK_MSG(v < tree.NumNodes() &&
+                        tree.Node(v).kind == NodeKind::kInsertion,
+                    "line " << line_no
+                            << ": repeater must sit on an insertion point");
+      sol.repeaters.Place(v, PlacedRepeater{index, a_side});
+    } else if (tag == "driver") {
+      std::size_t t;
+      TerminalOption o;
+      MSN_CHECK_MSG(
+          static_cast<bool>(ls >> t >> o.cost >> o.arrival_extra_ps >>
+                            o.driver_res >> o.driver_intrinsic_ps >>
+                            o.pin_cap >> o.downstream_extra_ps >> o.name),
+          "line " << line_no << ": malformed driver record");
+      MSN_CHECK_MSG(t < tree.NumTerminals(),
+                    "line " << line_no << ": terminal out of range");
+      sol.drivers.Choose(t, std::move(o));
+    } else if (tag == "width") {
+      std::size_t e;
+      double w;
+      MSN_CHECK_MSG(static_cast<bool>(ls >> e >> w),
+                    "line " << line_no << ": malformed width record");
+      MSN_CHECK_MSG(e < tree.NumEdges(),
+                    "line " << line_no << ": edge index out of range");
+      if (sol.wire_widths.empty()) {
+        sol.wire_widths.assign(tree.NumEdges(), 1.0);
+      }
+      sol.wire_widths[e] = w;
+    } else {
+      MSN_CHECK_MSG(false,
+                    "line " << line_no << ": unknown record '" << tag << "'");
+    }
+  }
+  return sol;
+}
+
+RcTree RoundTripNet(const RcTree& tree) {
+  std::stringstream ss;
+  WriteNet(ss, tree);
+  return ReadNet(ss);
+}
+
+}  // namespace msn

@@ -1,0 +1,179 @@
+#include "io/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace msn {
+namespace {
+
+/// Scales a plane coordinate into canvas cells.
+struct CanvasScale {
+  BoundingBox box;
+  std::size_t width, height;
+
+  std::pair<std::size_t, std::size_t> Map(const Point& p) const {
+    const double sx = box.hi.x > box.lo.x
+                          ? static_cast<double>(p.x - box.lo.x) /
+                                static_cast<double>(box.hi.x - box.lo.x)
+                          : 0.0;
+    const double sy = box.hi.y > box.lo.y
+                          ? static_cast<double>(p.y - box.lo.y) /
+                                static_cast<double>(box.hi.y - box.lo.y)
+                          : 0.0;
+    const auto cx = static_cast<std::size_t>(
+        std::llround(sx * static_cast<double>(width - 1)));
+    // Canvas rows grow downward; plane y grows upward.
+    const auto cy = static_cast<std::size_t>(
+        std::llround((1.0 - sy) * static_cast<double>(height - 1)));
+    return {cx, cy};
+  }
+};
+
+void DrawSegment(std::vector<std::string>& canvas, std::size_t x0,
+                 std::size_t y0, std::size_t x1, std::size_t y1) {
+  // Rectilinear L: horizontal first, then vertical.
+  const std::size_t xa = std::min(x0, x1), xb = std::max(x0, x1);
+  for (std::size_t x = xa; x <= xb; ++x) {
+    if (canvas[y0][x] == ' ') canvas[y0][x] = '-';
+  }
+  const std::size_t ya = std::min(y0, y1), yb = std::max(y0, y1);
+  for (std::size_t y = ya; y <= yb; ++y) {
+    if (canvas[y][x1] == ' ') canvas[y][x1] = '|';
+  }
+}
+
+}  // namespace
+
+void DescribeNet(std::ostream& os, const RcTree& tree) {
+  os << "net: " << tree.NumTerminals() << " terminals, " << tree.NumNodes()
+     << " nodes, " << tree.InsertionPoints().size()
+     << " insertion points, total wirelength "
+     << static_cast<long long>(std::llround(tree.TotalLengthUm()))
+     << " um\n";
+}
+
+void DescribeSolution(std::ostream& os, const RcTree& tree,
+                      const Technology& tech, const TradeoffPoint& point,
+                      const ArdResult& ard) {
+  os << "solution: cost " << point.cost << " (equivalent 1X buffers), ARD "
+     << ard.ard_ps << " ps";
+  if (ard.HasPair()) {
+    os << ", critical source terminal " << ard.critical_source
+       << " -> sink terminal " << ard.critical_sink;
+  }
+  os << "\n  repeaters placed: " << point.num_repeaters << '\n';
+  for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+    if (!point.repeaters.Has(v)) continue;
+    const PlacedRepeater& r = *point.repeaters.At(v);
+    os << "    node " << v << " at " << '(' << tree.Node(v).pos.x << ", "
+       << tree.Node(v).pos.y << ") um: "
+       << tech.repeaters[r.repeater_index].name << ", A-side toward node "
+       << r.a_side_neighbor << '\n';
+  }
+  for (std::size_t t = 0; t < point.drivers.NumTerminals(); ++t) {
+    if (!point.drivers.At(t)) continue;
+    os << "    terminal " << t << ": driver option "
+       << point.drivers.At(t)->name << '\n';
+  }
+}
+
+void WriteDot(std::ostream& os, const RcTree& tree,
+              const RepeaterAssignment& repeaters,
+              const Technology& tech) {
+  os << "graph msn_net {\n"
+     << "  graph [splines=line];\n"
+     << "  node [fontsize=10];\n";
+  for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+    const RcNode& n = tree.Node(v);
+    // neato -n expects positions in points; scale µm down for a sane page.
+    os << "  n" << v << " [pos=\"" << static_cast<double>(n.pos.x) / 20.0
+       << ',' << static_cast<double>(n.pos.y) / 20.0 << "\"";
+    switch (n.kind) {
+      case NodeKind::kTerminal:
+        os << ", shape=box, style=filled, fillcolor=lightblue, label=\"t"
+           << n.terminal_index << "\"";
+        break;
+      case NodeKind::kSteiner:
+        os << ", shape=point, width=0.06, label=\"\"";
+        break;
+      case NodeKind::kInsertion:
+        if (repeaters.Has(v)) {
+          const PlacedRepeater& r = *repeaters.At(v);
+          os << ", shape=triangle, style=filled, fillcolor=orange,"
+                " label=\"\", tooltip=\""
+             << tech.repeaters[r.repeater_index].name << " A->n"
+             << r.a_side_neighbor << "\"";
+        } else {
+          os << ", shape=circle, width=0.08, label=\"\"";
+        }
+        break;
+    }
+    os << "];\n";
+  }
+  for (const RcEdge& e : tree.Edges()) {
+    os << "  n" << e.a << " -- n" << e.b << " [label=\""
+       << static_cast<long long>(std::llround(e.length_um)) << "\"];\n";
+  }
+  os << "}\n";
+}
+
+std::string RenderAscii(const RcTree& tree,
+                        const RepeaterAssignment& repeaters,
+                        std::size_t canvas_width, std::size_t canvas_height) {
+  MSN_CHECK_MSG(canvas_width >= 2 && canvas_height >= 2,
+                "canvas too small");
+  std::vector<Point> pts;
+  pts.reserve(tree.NumNodes());
+  for (NodeId v = 0; v < tree.NumNodes(); ++v) pts.push_back(tree.Node(v).pos);
+  const CanvasScale scale{ComputeBoundingBox(pts), canvas_width,
+                          canvas_height};
+
+  std::vector<std::string> canvas(canvas_height,
+                                  std::string(canvas_width, ' '));
+  for (const RcEdge& e : tree.Edges()) {
+    const auto [x0, y0] = scale.Map(tree.Node(e.a).pos);
+    const auto [x1, y1] = scale.Map(tree.Node(e.b).pos);
+    DrawSegment(canvas, x0, y0, x1, y1);
+  }
+  // Markers drawn after wires so they sit on top.  When several nodes map
+  // to one cell, priority is: terminal > repeater > branch > plain
+  // insertion point.
+  auto priority = [](char c) {
+    if (c == '.') return 1;
+    if (c == '+') return 2;
+    if (c == '#') return 3;
+    if (c >= '0' && c <= '9') return 4;
+    if (c == 'T') return 4;
+    return 0;  // Wires and blanks.
+  };
+  auto draw = [&](const Point& pos, char mark) {
+    const auto [x, y] = scale.Map(pos);
+    if (priority(mark) > priority(canvas[y][x])) canvas[y][x] = mark;
+  };
+  for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+    const RcNode& n = tree.Node(v);
+    switch (n.kind) {
+      case NodeKind::kInsertion:
+        draw(n.pos, repeaters.Has(v) ? '#' : '.');
+        break;
+      case NodeKind::kSteiner:
+        draw(n.pos, '+');
+        break;
+      case NodeKind::kTerminal:
+        draw(n.pos, n.terminal_index < 10
+                        ? static_cast<char>('0' + n.terminal_index)
+                        : 'T');
+        break;
+    }
+  }
+
+  std::ostringstream os;
+  for (const std::string& row : canvas) os << row << '\n';
+  return os.str();
+}
+
+}  // namespace msn

@@ -1,0 +1,47 @@
+// Human-readable reports of nets and optimization results.
+//
+// Used by the examples and by bench_fig11 to render solutions the way the
+// paper's Fig. 11 presents them: topology sketch, repeater locations and
+// orientations, resulting ARD and the critical source/sink pair.
+#ifndef MSN_IO_REPORT_H
+#define MSN_IO_REPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "core/msri.h"
+#include "elmore/delay.h"
+#include "rctree/rctree.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+/// One-paragraph description of a net (terminals, wirelength, insertion
+/// points).
+void DescribeNet(std::ostream& os, const RcTree& tree);
+
+/// Lists a tradeoff point: cost, ARD, repeaters with positions and
+/// orientations, sized drivers.
+void DescribeSolution(std::ostream& os, const RcTree& tree,
+                      const Technology& tech, const TradeoffPoint& point,
+                      const ArdResult& ard);
+
+/// ASCII rendering of the tree on a character canvas: terminals 'T' (or
+/// their index digit), Steiner points '+', insertion points '.', placed
+/// repeaters '#'.  Wires are drawn along their L-shaped embeddings.
+std::string RenderAscii(const RcTree& tree,
+                        const RepeaterAssignment& repeaters,
+                        std::size_t canvas_width = 64,
+                        std::size_t canvas_height = 32);
+
+/// Graphviz DOT export with true coordinates (render with `neato -n`):
+/// terminals as labeled boxes, Steiner points as dots, insertion points
+/// as small circles, placed repeaters as filled triangles with their
+/// orientation in the tooltip.
+void WriteDot(std::ostream& os, const RcTree& tree,
+              const RepeaterAssignment& repeaters,
+              const Technology& tech);
+
+}  // namespace msn
+
+#endif  // MSN_IO_REPORT_H

@@ -1,0 +1,34 @@
+// Fixed-width text tables for the benchmark harness.
+//
+// Every bench binary prints its paper table/figure through this printer so
+// the output structure matches the paper's rows and columns.
+#ifndef MSN_IO_TABLE_H
+#define MSN_IO_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace msn {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have as many cells as there are headers (checked).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule and per-column auto width.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string Num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_IO_TABLE_H

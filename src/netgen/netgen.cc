@@ -1,0 +1,104 @@
+#include "netgen/netgen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "steiner/one_steiner.h"
+#include "steiner/ptree.h"
+
+namespace msn {
+
+std::vector<Point> RandomTerminals(std::uint64_t seed, std::size_t n,
+                                   std::int64_t grid_um) {
+  MSN_CHECK_MSG(static_cast<std::int64_t>(n) <= (grid_um + 1) * (grid_um + 1),
+                "more terminals than grid positions");
+  Rng rng(seed);
+  std::unordered_set<Point> used;
+  std::vector<Point> points;
+  points.reserve(n);
+  while (points.size() < n) {
+    const Point p{rng.UniformInt(0, grid_um), rng.UniformInt(0, grid_um)};
+    if (used.insert(p).second) points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<Point> BusLikeTerminals(std::uint64_t seed, std::size_t n,
+                                    std::int64_t grid_um,
+                                    std::int64_t jitter_um) {
+  Rng rng(seed);
+  std::unordered_set<Point> used;
+  std::vector<Point> points;
+  points.reserve(n);
+  const std::int64_t mid = grid_um / 2;
+  while (points.size() < n) {
+    const Point p{rng.UniformInt(0, grid_um),
+                  std::clamp<std::int64_t>(
+                      mid + rng.UniformInt(-jitter_um, jitter_um), 0,
+                      grid_um)};
+    if (used.insert(p).second) points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<Point> ClusteredTerminals(std::uint64_t seed, std::size_t n,
+                                      std::int64_t grid_um,
+                                      std::size_t clusters,
+                                      std::int64_t radius_um) {
+  MSN_CHECK_MSG(clusters >= 1, "need at least one cluster");
+  Rng rng(seed);
+  std::vector<Point> centres;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    centres.push_back({rng.UniformInt(radius_um, grid_um - radius_um),
+                       rng.UniformInt(radius_um, grid_um - radius_um)});
+  }
+  std::unordered_set<Point> used;
+  std::vector<Point> points;
+  points.reserve(n);
+  while (points.size() < n) {
+    const Point& c = centres[points.size() % clusters];
+    const Point p{std::clamp<std::int64_t>(
+                      c.x + rng.UniformInt(-radius_um, radius_um), 0,
+                      grid_um),
+                  std::clamp<std::int64_t>(
+                      c.y + rng.UniformInt(-radius_um, radius_um), 0,
+                      grid_um)};
+    if (used.insert(p).second) points.push_back(p);
+  }
+  return points;
+}
+
+RcTree BuildExperimentNet(const NetConfig& config, const Technology& tech) {
+  const std::vector<Point> terminals =
+      RandomTerminals(config.seed, config.num_terminals, config.grid_um);
+  const SteinerTree topo = config.topology == TopologyKind::kPTree
+                               ? PTree(terminals)
+                               : IteratedOneSteiner(terminals);
+  const std::vector<TerminalParams> params(config.num_terminals,
+                                           DefaultTerminal(tech));
+  RcTree tree = RcTree::FromSteinerTree(topo, tech.wire, params);
+  tree.AddInsertionPoints(config.insertion_spacing_um,
+                          config.at_least_one_per_wire);
+  tree.Validate();
+  return tree;
+}
+
+RcTree BuildFig11Net(const Technology& tech) {
+  // Eight pins on the 1 cm grid; the iterated 1-Steiner topology over
+  // these points has total wirelength ~19.6 kµm (paper Fig. 11).
+  const std::vector<Point> pins = {
+      {600, 800},   {3000, 200},  {5900, 1000}, {1000, 3600},
+      {4500, 3200}, {6500, 4400}, {1800, 6300}, {5000, 6600},
+  };
+  const SteinerTree topo = IteratedOneSteiner(pins);
+  const std::vector<TerminalParams> params(pins.size(),
+                                           DefaultTerminal(tech));
+  RcTree tree = RcTree::FromSteinerTree(topo, tech.wire, params);
+  tree.AddInsertionPoints(800.0, true);
+  tree.Validate();
+  return tree;
+}
+
+}  // namespace msn

@@ -1,0 +1,65 @@
+// Workload generation for the paper's experiments (Section VI).
+//
+// The evaluation uses random point sets on a 1 cm × 1 cm grid (10 nets per
+// cardinality), connected by a Steiner tree, with insertion points no more
+// than ~800 µm apart and at least one per wire segment.  Everything here
+// is deterministic in the seed.
+#ifndef MSN_NETGEN_NETGEN_H
+#define MSN_NETGEN_NETGEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "rctree/rctree.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+/// Topology generator used by BuildExperimentNet.
+enum class TopologyKind {
+  kOneSteiner,  ///< Iterated 1-Steiner (fast, near-optimal wirelength).
+  kPTree,       ///< The paper's P-Tree interval DP (ref [16]).
+};
+
+struct NetConfig {
+  std::uint64_t seed = 1;
+  std::size_t num_terminals = 10;
+  std::int64_t grid_um = 10'000;        ///< 1 cm.
+  double insertion_spacing_um = 800.0;  ///< Paper Section VI.
+  bool at_least_one_per_wire = true;    ///< Paper footnote 14.
+  /// bench_topology shows the two generators produce equivalent
+  /// optimized diameters; 1-Steiner is the default for speed.
+  TopologyKind topology = TopologyKind::kOneSteiner;
+};
+
+/// `n` distinct random points on the [0, grid]² lattice.
+std::vector<Point> RandomTerminals(std::uint64_t seed, std::size_t n,
+                                   std::int64_t grid_um);
+
+/// `n` distinct points along a horizontal bus spine: x spread over the
+/// grid, y jittered within ±`jitter_um` of the centreline — the physical
+/// shape of a real board- or die-level bus.
+std::vector<Point> BusLikeTerminals(std::uint64_t seed, std::size_t n,
+                                    std::int64_t grid_um,
+                                    std::int64_t jitter_um = 500);
+
+/// `n` distinct points in `clusters` tight groups (cluster radius
+/// `radius_um`) — models agents packed into a few floorplan regions.
+std::vector<Point> ClusteredTerminals(std::uint64_t seed, std::size_t n,
+                                      std::int64_t grid_um,
+                                      std::size_t clusters = 3,
+                                      std::int64_t radius_um = 800);
+
+/// Full experiment net: random terminals -> iterated 1-Steiner topology ->
+/// RC tree with default (source+sink, AT=DD=0) terminals -> insertion
+/// points at the configured spacing.
+RcTree BuildExperimentNet(const NetConfig& config, const Technology& tech);
+
+/// The paper's Fig. 11 subject: a fixed 8-pin net (total wirelength
+/// ≈ 19.6 kµm) where every pin may drive or receive.
+RcTree BuildFig11Net(const Technology& tech);
+
+}  // namespace msn
+
+#endif  // MSN_NETGEN_NETGEN_H

@@ -1,0 +1,138 @@
+#include "rctree/assignment.h"
+
+#include "common/check.h"
+
+namespace msn {
+
+std::size_t RepeaterAssignment::CountPlaced() const {
+  std::size_t count = 0;
+  for (const auto& p : placed_) {
+    if (p.has_value()) ++count;
+  }
+  return count;
+}
+
+ResolvedRepeater RepeaterAssignment::Resolve(NodeId v,
+                                             const Technology& tech) const {
+  MSN_CHECK_MSG(placed_[v].has_value(), "no repeater placed at node " << v);
+  MSN_CHECK_MSG(placed_[v]->repeater_index < tech.repeaters.size(),
+                "repeater index out of library range");
+  return ResolvedRepeater{&tech.repeaters[placed_[v]->repeater_index],
+                          placed_[v]->a_side_neighbor};
+}
+
+double RepeaterAssignment::Cost(const Technology& tech) const {
+  double cost = 0.0;
+  for (const auto& p : placed_) {
+    if (!p.has_value()) continue;
+    MSN_CHECK_MSG(p->repeater_index < tech.repeaters.size(),
+                  "repeater index out of library range");
+    cost += tech.repeaters[p->repeater_index].cost;
+  }
+  return cost;
+}
+
+bool ParityFeasible(const RcTree& tree, const RepeaterAssignment& assignment,
+                    const Technology& tech) {
+  // DFS accumulating inversion parity; all terminals must end up in the
+  // same class.  Start at a terminal: it can never hold a repeater, so
+  // "leaving a buffered node flips" is well-defined at every expansion
+  // (a buffered node is degree 2 and was entered from its other side).
+  std::vector<int> parity(tree.NumNodes(), -1);
+  const NodeId start = tree.TerminalNode(0);
+  std::vector<NodeId> stack{start};
+  parity[start] = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    const int flip =
+        assignment.Has(v) &&
+                tech.repeaters[assignment.At(v)->repeater_index].inverting
+            ? 1
+            : 0;
+    for (const std::size_t ei : tree.AdjacentEdges(v)) {
+      const RcEdge& e = tree.Edge(ei);
+      const NodeId w = e.a == v ? e.b : e.a;
+      if (parity[w] != -1) continue;
+      // Crossing node v's repeater happens when we *leave* v, so a child
+      // inherits v's parity XOR v's flip.
+      parity[w] = parity[v] ^ flip;
+      stack.push_back(w);
+    }
+  }
+  int expected = -1;
+  for (std::size_t t = 0; t < tree.NumTerminals(); ++t) {
+    const int p = parity[tree.TerminalNode(t)];
+    if (expected == -1) expected = p;
+    if (p != expected) return false;
+  }
+  return true;
+}
+
+bool StageLengthFeasible(const RcTree& tree,
+                         const RepeaterAssignment& assignment,
+                         double max_stage_length_um) {
+  if (max_stage_length_um <= 0.0) return true;
+  // For every node, the longest unbuffered wire path starting there and
+  // heading away from each neighbor; computed by DFS per node (nets are
+  // small).  A region's diameter is realized at some node, so checking
+  // the two-sided sum at every node covers all regions.
+  const std::size_t n = tree.NumNodes();
+  for (NodeId v = 0; v < n; ++v) {
+    // Longest unbuffered path from v into each incident edge.
+    std::vector<double> arm;
+    for (const std::size_t ei : tree.AdjacentEdges(v)) {
+      const RcEdge& e0 = tree.Edge(ei);
+      const NodeId first = e0.a == v ? e0.b : e0.a;
+      double best = 0.0;
+      // DFS (node, from, length) staying inside the unbuffered region.
+      std::vector<std::pair<std::pair<NodeId, NodeId>, double>> stack{
+          {{first, v}, e0.length_um}};
+      while (!stack.empty()) {
+        const auto [nodes, len] = stack.back();
+        stack.pop_back();
+        const auto [w, from] = nodes;
+        best = std::max(best, len);
+        if (assignment.Has(w)) continue;  // Region boundary.
+        for (const std::size_t ej : tree.AdjacentEdges(w)) {
+          const RcEdge& e = tree.Edge(ej);
+          const NodeId next = e.a == w ? e.b : e.a;
+          if (next == from) continue;
+          stack.push_back({{next, w}, len + e.length_um});
+        }
+      }
+      arm.push_back(best);
+    }
+    if (assignment.Has(v)) {
+      // Regions end at v: each arm is a span on its own.
+      for (const double a : arm) {
+        if (a > max_stage_length_um) return false;
+      }
+      continue;
+    }
+    // Largest and second-largest arms meet at v.
+    double first = 0.0, second = 0.0;
+    for (const double a : arm) {
+      if (a > first) {
+        second = first;
+        first = a;
+      } else if (a > second) {
+        second = a;
+      }
+    }
+    if (first + second > max_stage_length_um) return false;
+  }
+  return true;
+}
+
+double DriverAssignment::Cost(const RcTree& tree) const {
+  MSN_CHECK_MSG(choice_.size() == tree.NumTerminals(),
+                "driver assignment size mismatch");
+  double cost = 0.0;
+  for (std::size_t t = 0; t < choice_.size(); ++t) {
+    cost += choice_[t] ? choice_[t]->cost : tree.Terminal(t).driver.cost;
+  }
+  return cost;
+}
+
+}  // namespace msn

@@ -1,0 +1,141 @@
+// Repeater and driver-sizing assignments over an RcTree.
+//
+// A RepeaterAssignment maps insertion-point nodes to (library repeater,
+// orientation) pairs; a DriverAssignment maps terminals to TerminalOptions.
+// Together they fully determine the electrical state the ARD engines
+// evaluate, and they are what the MSRI dynamic program outputs.
+#ifndef MSN_RCTREE_ASSIGNMENT_H
+#define MSN_RCTREE_ASSIGNMENT_H
+
+#include <optional>
+#include <vector>
+
+#include "rctree/rctree.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+/// A repeater placed at an insertion point.
+///
+/// Orientation is stored rooting-independently: `a_side_neighbor` is the
+/// neighbor node the repeater's A-side faces (an insertion point has
+/// exactly two neighbors).  Algorithms that orient the tree convert
+/// to/from RepeaterOrientation via the rooted parent pointer.
+struct PlacedRepeater {
+  std::size_t repeater_index = 0;  ///< Index into the Technology library.
+  NodeId a_side_neighbor = kNoNode;
+
+  friend bool operator==(const PlacedRepeater&,
+                         const PlacedRepeater&) = default;
+};
+
+/// View of a placed repeater resolved against the library, exposing
+/// direction-of-travel accessors keyed by the neighbor the signal comes
+/// from or goes to.
+struct ResolvedRepeater {
+  const Repeater* repeater = nullptr;
+  NodeId a_side_neighbor = kNoNode;
+
+  /// Input capacitance presented to the wire on the side facing `n`.
+  double CapToward(NodeId n) const {
+    return n == a_side_neighbor ? repeater->cap_a : repeater->cap_b;
+  }
+  /// Intrinsic delay for a signal entering from the side facing `from`.
+  double IntrinsicFrom(NodeId from) const {
+    return from == a_side_neighbor ? repeater->intrinsic_ab
+                                   : repeater->intrinsic_ba;
+  }
+  /// Output resistance for a signal entering from the side facing `from`.
+  double ResFrom(NodeId from) const {
+    return from == a_side_neighbor ? repeater->res_ab : repeater->res_ba;
+  }
+};
+
+/// Sparse map node -> placed repeater (empty everywhere by default).
+class RepeaterAssignment {
+ public:
+  /// Empty assignment over zero nodes (placeholder; resize by copy).
+  RepeaterAssignment() = default;
+
+  explicit RepeaterAssignment(std::size_t num_nodes)
+      : placed_(num_nodes) {}
+
+  /// Places `r` at node `v`; `v` must be an insertion point in the tree
+  /// the assignment is later evaluated on (checked by the engines).
+  void Place(NodeId v, PlacedRepeater r) { placed_[v] = r; }
+  void Remove(NodeId v) { placed_[v].reset(); }
+
+  const std::optional<PlacedRepeater>& At(NodeId v) const {
+    return placed_[v];
+  }
+  bool Has(NodeId v) const { return placed_[v].has_value(); }
+
+  /// Resolves the repeater at `v` against `tech`'s library; `v` must hold
+  /// a repeater.
+  ResolvedRepeater Resolve(NodeId v, const Technology& tech) const;
+
+  std::size_t NumNodes() const { return placed_.size(); }
+  std::size_t CountPlaced() const;
+
+  /// Total cost of the placed repeaters under `tech`'s library.
+  double Cost(const Technology& tech) const;
+
+  friend bool operator==(const RepeaterAssignment&,
+                         const RepeaterAssignment&) = default;
+
+ private:
+  std::vector<std::optional<PlacedRepeater>> placed_;
+};
+
+/// True iff every source-to-sink terminal pair crosses an even number of
+/// inverting repeaters under `assignment` — the feasibility condition of
+/// the paper's Section V inverter extension.  (Equivalently: all terminals
+/// share one polarity parity relative to an arbitrary root.)
+bool ParityFeasible(const RcTree& tree, const RepeaterAssignment& assignment,
+                    const Technology& tech);
+
+/// True iff every maximal unbuffered region of `tree` under `assignment`
+/// has wire diameter (longest wirelength path not crossing a repeater) at
+/// most `max_stage_length_um` — the slew-control feasibility the MSRI
+/// option of the same name enforces.
+bool StageLengthFeasible(const RcTree& tree,
+                         const RepeaterAssignment& assignment,
+                         double max_stage_length_um);
+
+/// Per-terminal driver-sizing choices; a terminal without a choice uses its
+/// TerminalParams default realization.
+class DriverAssignment {
+ public:
+  /// Empty assignment over zero terminals (placeholder; resize by copy).
+  DriverAssignment() = default;
+
+  explicit DriverAssignment(std::size_t num_terminals)
+      : choice_(num_terminals) {}
+
+  void Choose(std::size_t terminal, TerminalOption opt) {
+    choice_[terminal] = std::move(opt);
+  }
+
+  const std::optional<TerminalOption>& At(std::size_t terminal) const {
+    return choice_[terminal];
+  }
+
+  std::size_t NumTerminals() const { return choice_.size(); }
+
+  /// Resolved electricals for terminal `t` of `tree`.
+  EffectiveTerminal Resolve(const RcTree& tree, std::size_t t) const {
+    const TerminalParams& p = tree.Terminal(t);
+    return choice_[t] ? ResolveTerminal(p, *choice_[t]) : ResolveTerminal(p);
+  }
+
+  /// Total cost of the chosen options; unchosen terminals contribute their
+  /// default realization's cost.
+  double Cost(const RcTree& tree) const;
+
+ private:
+  std::vector<std::optional<TerminalOption>> choice_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_RCTREE_ASSIGNMENT_H

@@ -1,0 +1,198 @@
+#include "rctree/rctree.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace msn {
+namespace {
+
+/// Position at fraction `t` ∈ [0,1] along the L-shaped (x-then-y) embedding
+/// of the segment a→b.  Used only for rendering and reporting.
+Point LShapePosition(const Point& a, const Point& b, double t) {
+  const double dx = static_cast<double>(b.x - a.x);
+  const double dy = static_cast<double>(b.y - a.y);
+  const double total = std::fabs(dx) + std::fabs(dy);
+  if (total == 0.0) return a;
+  const double dist = t * total;
+  if (dist <= std::fabs(dx)) {
+    const double step = dx >= 0 ? dist : -dist;
+    return Point{a.x + static_cast<std::int64_t>(std::llround(step)), a.y};
+  }
+  const double rest = dist - std::fabs(dx);
+  const double step = dy >= 0 ? rest : -rest;
+  return Point{b.x, a.y + static_cast<std::int64_t>(std::llround(step))};
+}
+
+}  // namespace
+
+NodeId RcTree::AddNode(NodeKind kind, Point pos) {
+  MSN_CHECK_MSG(kind != NodeKind::kTerminal,
+                "use AddTerminal for terminal nodes");
+  nodes_.push_back(RcNode{kind, static_cast<std::size_t>(-1), pos});
+  adj_.emplace_back();
+  if (kind == NodeKind::kInsertion) insertion_points_.push_back(nodes_.size() - 1);
+  return nodes_.size() - 1;
+}
+
+NodeId RcTree::AddTerminal(const TerminalParams& params, Point pos) {
+  nodes_.push_back(RcNode{NodeKind::kTerminal, terminals_.size(), pos});
+  adj_.emplace_back();
+  terminals_.push_back(params);
+  terminal_node_.push_back(nodes_.size() - 1);
+  return nodes_.size() - 1;
+}
+
+std::size_t RcTree::AddEdge(NodeId a, NodeId b, double length_um) {
+  MSN_CHECK_MSG(a < nodes_.size() && b < nodes_.size() && a != b,
+                "bad edge endpoints");
+  MSN_CHECK_MSG(length_um >= 0.0, "negative wire length");
+  RcEdge e;
+  e.a = a;
+  e.b = b;
+  e.length_um = length_um;
+  e.res = length_um * wire_.res_per_um;
+  e.cap = length_um * wire_.cap_per_um;
+  edges_.push_back(e);
+  adj_[a].push_back(edges_.size() - 1);
+  adj_[b].push_back(edges_.size() - 1);
+  return edges_.size() - 1;
+}
+
+RcTree RcTree::FromSteinerTree(const SteinerTree& tree,
+                               const WireParams& wire,
+                               std::vector<TerminalParams> terminals) {
+  tree.Validate();
+  MSN_CHECK_MSG(terminals.size() == tree.num_terminals,
+                "terminal parameter count ("
+                    << terminals.size() << ") must match Steiner terminals ("
+                    << tree.num_terminals << ")");
+
+  RcTree rc(wire);
+  const std::vector<std::size_t> deg = tree.Degrees();
+
+  // All terminals first, in input order, so ordinals match the caller's.
+  std::vector<NodeId> terminal_node(tree.num_terminals);
+  for (std::size_t i = 0; i < tree.num_terminals; ++i) {
+    terminal_node[i] = rc.AddTerminal(terminals[i], tree.points[i]);
+  }
+  // node_of[i]: the node carrying Steiner-tree point i's connectivity.  A
+  // non-leaf terminal keeps its branching on a coincident Steiner node and
+  // hangs off it by a zero-length stub.
+  std::vector<NodeId> node_of(tree.points.size());
+  for (std::size_t i = 0; i < tree.points.size(); ++i) {
+    if (tree.IsTerminal(i) && deg[i] <= 1) {
+      node_of[i] = terminal_node[i];
+    } else if (tree.IsTerminal(i)) {
+      node_of[i] = rc.AddNode(NodeKind::kSteiner, tree.points[i]);
+      rc.AddEdge(node_of[i], terminal_node[i], 0.0);
+    } else {
+      node_of[i] = rc.AddNode(NodeKind::kSteiner, tree.points[i]);
+    }
+  }
+  for (const SteinerEdge& e : tree.edges) {
+    rc.AddEdge(node_of[e.a], node_of[e.b],
+               static_cast<double>(tree.EdgeLength(e)));
+  }
+  rc.Validate();
+  return rc;
+}
+
+void RcTree::AddInsertionPoints(double max_spacing_um,
+                                bool at_least_one_per_wire) {
+  MSN_CHECK_MSG(max_spacing_um > 0.0, "insertion spacing must be positive");
+  MSN_CHECK_MSG(insertion_points_.empty(),
+                "AddInsertionPoints may only be called once");
+
+  const std::vector<RcEdge> original = std::move(edges_);
+  edges_.clear();
+  for (auto& a : adj_) a.clear();
+
+  for (const RcEdge& e : original) {
+    std::size_t count = 0;
+    if (e.length_um > 0.0) {
+      // Split into count+1 equal pieces, each at most max_spacing_um.
+      count = static_cast<std::size_t>(
+          std::ceil(e.length_um / max_spacing_um)) - 1;
+    }
+    if (at_least_one_per_wire && count == 0) count = 1;
+
+    NodeId prev = e.a;
+    const double piece = e.length_um / static_cast<double>(count + 1);
+    for (std::size_t k = 1; k <= count; ++k) {
+      const double t =
+          static_cast<double>(k) / static_cast<double>(count + 1);
+      const NodeId ip = AddNode(
+          NodeKind::kInsertion,
+          LShapePosition(nodes_[e.a].pos, nodes_[e.b].pos, t));
+      AddEdge(prev, ip, piece);
+      prev = ip;
+    }
+    AddEdge(prev, e.b, piece);
+  }
+}
+
+RcTree RcTree::WithWireWidths(const std::vector<double>& widths) const {
+  MSN_CHECK_MSG(widths.size() == edges_.size(),
+                "width vector sized " << widths.size() << ", tree has "
+                                      << edges_.size() << " edges");
+  RcTree scaled = *this;
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    MSN_CHECK_MSG(widths[e] >= 1.0, "wire width factor below minimum");
+    scaled.edges_[e].res /= widths[e];
+    scaled.edges_[e].cap *= widths[e];
+  }
+  return scaled;
+}
+
+double RcTree::TotalLengthUm() const {
+  double total = 0.0;
+  for (const RcEdge& e : edges_) total += e.length_um;
+  return total;
+}
+
+void RcTree::Validate() const {
+  MSN_CHECK_MSG(!nodes_.empty(), "empty RcTree");
+  MSN_CHECK_MSG(edges_.size() + 1 == nodes_.size(),
+                "RcTree must be a tree: |E| = |V| - 1");
+  // Acyclicity/connectivity via union-find.
+  std::vector<NodeId> parent(nodes_.size());
+  std::iota(parent.begin(), parent.end(), NodeId{0});
+  auto find = [&parent](NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const RcEdge& e : edges_) {
+    const NodeId ra = find(e.a);
+    const NodeId rb = find(e.b);
+    MSN_CHECK_MSG(ra != rb, "cycle in RcTree");
+    parent[ra] = rb;
+  }
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    switch (nodes_[v].kind) {
+      case NodeKind::kTerminal:
+        MSN_CHECK_MSG(Degree(v) <= 1,
+                      "terminal node " << v << " must be a leaf");
+        MSN_CHECK_MSG(nodes_[v].terminal_index < terminals_.size(),
+                      "terminal node with bad ordinal");
+        break;
+      case NodeKind::kInsertion:
+        MSN_CHECK_MSG(Degree(v) == 2,
+                      "insertion point " << v << " must have degree 2");
+        break;
+      case NodeKind::kSteiner:
+        break;
+    }
+  }
+  for (std::size_t t = 0; t < terminals_.size(); ++t) {
+    MSN_CHECK_MSG(terminal_node_[t] < nodes_.size() &&
+                      nodes_[terminal_node_[t]].terminal_index == t,
+                  "terminal_node_ mapping corrupt");
+  }
+}
+
+}  // namespace msn

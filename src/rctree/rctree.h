@@ -1,0 +1,138 @@
+// The electrical routing-tree substrate.
+//
+// An RcTree is a rectilinear routing tree annotated with wire parasitics,
+// terminal electrical parameters, and degree-2 candidate repeater insertion
+// points (paper Section II).  Structural conventions enforced by Validate():
+//   * terminals are leaves (FromSteinerTree adds zero-length stubs for
+//     non-leaf terminals, as the paper's Section III suggests);
+//   * insertion points have degree exactly two (paper footnote 6);
+//   * the edge set forms a tree.
+#ifndef MSN_RCTREE_RCTREE_H
+#define MSN_RCTREE_RCTREE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "steiner/topology.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+/// Role of a node in the routing tree.
+enum class NodeKind {
+  kTerminal,   ///< A net terminal (leaf); may source and/or sink.
+  kSteiner,    ///< A branch or structural point, no pin.
+  kInsertion,  ///< A degree-2 candidate repeater insertion point.
+};
+
+/// Index type for nodes within an RcTree.
+using NodeId = std::size_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+struct RcNode {
+  NodeKind kind = NodeKind::kSteiner;
+  /// Terminal ordinal (index into Terminals()) if kind == kTerminal.
+  std::size_t terminal_index = static_cast<std::size_t>(-1);
+  Point pos;  ///< Plane location (rendering + insertion-point placement).
+};
+
+/// Undirected wire segment between nodes `a` and `b`.
+struct RcEdge {
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;
+  double length_um = 0.0;
+  double res = 0.0;  ///< Total segment resistance, Ω.
+  double cap = 0.0;  ///< Total segment capacitance, pF.
+};
+
+class RcTree {
+ public:
+  /// Builds an RcTree from a geometric Steiner tree.  `terminals` supplies
+  /// one TerminalParams per Steiner-tree terminal, in the same order.
+  /// Non-leaf terminals are split: the branch stays as a Steiner node and
+  /// the terminal hangs off it by a zero-length edge.
+  static RcTree FromSteinerTree(const SteinerTree& tree,
+                                const WireParams& wire,
+                                std::vector<TerminalParams> terminals);
+
+  /// Subdivides every wire segment with insertion points such that
+  /// consecutive candidate points are at most `max_spacing_um` apart and —
+  /// when `at_least_one_per_wire` (paper footnote 14) — every original
+  /// segment carries at least one point.  Call once, before rooting.
+  void AddInsertionPoints(double max_spacing_um,
+                          bool at_least_one_per_wire = true);
+
+  std::size_t NumNodes() const { return nodes_.size(); }
+  std::size_t NumEdges() const { return edges_.size(); }
+  std::size_t NumTerminals() const { return terminals_.size(); }
+
+  const RcNode& Node(NodeId id) const { return nodes_[id]; }
+  const RcEdge& Edge(std::size_t e) const { return edges_[e]; }
+  const std::vector<RcEdge>& Edges() const { return edges_; }
+
+  /// Edge indices incident to `id`.
+  const std::vector<std::size_t>& AdjacentEdges(NodeId id) const {
+    return adj_[id];
+  }
+  std::size_t Degree(NodeId id) const { return adj_[id].size(); }
+
+  /// Node carrying terminal ordinal `t`.
+  NodeId TerminalNode(std::size_t t) const { return terminal_node_[t]; }
+  const TerminalParams& Terminal(std::size_t t) const {
+    return terminals_[t];
+  }
+  TerminalParams& MutableTerminal(std::size_t t) { return terminals_[t]; }
+  const std::vector<TerminalParams>& Terminals() const { return terminals_; }
+
+  /// All insertion-point node ids, in creation order.
+  const std::vector<NodeId>& InsertionPoints() const {
+    return insertion_points_;
+  }
+
+  const WireParams& Wire() const { return wire_; }
+
+  /// Total wirelength in µm.
+  double TotalLengthUm() const;
+
+  /// Copy of this tree with edge `e` driven at `widths[e]` times minimum
+  /// width: resistance divides by the factor, capacitance multiplies
+  /// (classic wire-sizing model).  `widths` is indexed like Edges() and
+  /// every factor must be >= 1 (checked).  Used to verify wire-sizing
+  /// solutions with the unmodified ARD engines.
+  RcTree WithWireWidths(const std::vector<double>& widths) const;
+
+  /// Throws msn::CheckError if structural conventions are violated.
+  void Validate() const;
+
+  // -- Low-level construction API (used by tests and hand-built nets). ----
+
+  /// Appends a node; returns its id.  Terminal nodes must be added through
+  /// AddTerminal.
+  NodeId AddNode(NodeKind kind, Point pos = {});
+
+  /// Appends a terminal node with parameters `params`; returns its id.
+  NodeId AddTerminal(const TerminalParams& params, Point pos = {});
+
+  /// Connects `a` and `b` with a wire of `length_um`; parasitics derive
+  /// from the wire parameters given at construction.
+  std::size_t AddEdge(NodeId a, NodeId b, double length_um);
+
+  /// Creates an empty tree with the given wire parameters.
+  explicit RcTree(const WireParams& wire) : wire_(wire) {}
+
+ private:
+  std::vector<RcNode> nodes_;
+  std::vector<RcEdge> edges_;
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<TerminalParams> terminals_;
+  std::vector<NodeId> terminal_node_;
+  std::vector<NodeId> insertion_points_;
+  WireParams wire_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_RCTREE_RCTREE_H

@@ -1,0 +1,47 @@
+#include "rctree/rooted.h"
+
+#include "common/check.h"
+
+namespace msn {
+
+RootedTree::RootedTree(const RcTree& tree, NodeId root)
+    : tree_(&tree),
+      root_(root),
+      parent_(tree.NumNodes(), kNoNode),
+      children_(tree.NumNodes()),
+      parent_res_(tree.NumNodes(), 0.0),
+      parent_cap_(tree.NumNodes(), 0.0),
+      parent_len_(tree.NumNodes(), 0.0),
+      parent_edge_(tree.NumNodes(), static_cast<std::size_t>(-1)) {
+  MSN_CHECK_MSG(root < tree.NumNodes(), "root out of range");
+  preorder_.reserve(tree.NumNodes());
+
+  // Iterative DFS from the root.
+  std::vector<NodeId> stack{root};
+  std::vector<bool> visited(tree.NumNodes(), false);
+  visited[root] = true;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    preorder_.push_back(v);
+    for (std::size_t ei : tree.AdjacentEdges(v)) {
+      const RcEdge& e = tree.Edge(ei);
+      const NodeId w = e.a == v ? e.b : e.a;
+      if (visited[w]) continue;
+      visited[w] = true;
+      parent_[w] = v;
+      parent_res_[w] = e.res;
+      parent_cap_[w] = e.cap;
+      parent_len_[w] = e.length_um;
+      parent_edge_[w] = ei;
+      children_[v].push_back(w);
+      stack.push_back(w);
+    }
+  }
+  MSN_CHECK_MSG(preorder_.size() == tree.NumNodes(),
+                "tree is disconnected; rooted traversal reached "
+                    << preorder_.size() << " of " << tree.NumNodes()
+                    << " nodes");
+}
+
+}  // namespace msn

@@ -1,0 +1,58 @@
+// Rooted (oriented) view of an RcTree.
+//
+// Both the linear-time ARD algorithm (paper Section III) and the repeater
+// insertion DP (Section IV) operate on the tree re-oriented with respect to
+// an arbitrary root; the paper roots at a terminal for the DP.  The rooted
+// view precomputes parent pointers, per-node parent-edge parasitics, child
+// lists and a topological (preorder) sequence so algorithms can run
+// iteratively without recursion.
+#ifndef MSN_RCTREE_ROOTED_H
+#define MSN_RCTREE_ROOTED_H
+
+#include <vector>
+
+#include "rctree/rctree.h"
+
+namespace msn {
+
+class RootedTree {
+ public:
+  /// Orients `tree` away from `root`.  The RcTree must outlive this view.
+  RootedTree(const RcTree& tree, NodeId root);
+
+  const RcTree& Tree() const { return *tree_; }
+  NodeId Root() const { return root_; }
+
+  NodeId Parent(NodeId v) const { return parent_[v]; }
+  const std::vector<NodeId>& Children(NodeId v) const { return children_[v]; }
+
+  /// Resistance/capacitance/length of the edge (Parent(v), v).
+  /// Zero for the root.
+  double ParentRes(NodeId v) const { return parent_res_[v]; }
+  double ParentCap(NodeId v) const { return parent_cap_[v]; }
+  double ParentLengthUm(NodeId v) const { return parent_len_[v]; }
+  /// Index (into Tree().Edges()) of the edge (Parent(v), v); undefined
+  /// for the root.
+  std::size_t ParentEdgeIndex(NodeId v) const { return parent_edge_[v]; }
+
+  /// Nodes in preorder (root first); reverse iteration is a valid
+  /// bottom-up (children before parents) order.
+  const std::vector<NodeId>& Preorder() const { return preorder_; }
+
+  bool IsLeaf(NodeId v) const { return children_[v].empty(); }
+
+ private:
+  const RcTree* tree_;
+  NodeId root_;
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<double> parent_res_;
+  std::vector<double> parent_cap_;
+  std::vector<double> parent_len_;
+  std::vector<std::size_t> parent_edge_;
+  std::vector<NodeId> preorder_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_RCTREE_ROOTED_H

@@ -1,0 +1,240 @@
+#include "sim/transient.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/numeric.h"
+#include "elmore/caps.h"
+#include "rctree/rooted.h"
+
+namespace msn {
+namespace {
+
+/// Dense LU with partial pivoting — stages have at most a few hundred
+/// nodes, so a dependency-free direct solver is the right tool.
+class LuSolver {
+ public:
+  explicit LuSolver(std::vector<std::vector<double>> a)
+      : n_(a.size()), lu_(std::move(a)), perm_(n_) {
+    for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+    for (std::size_t k = 0; k < n_; ++k) {
+      std::size_t pivot = k;
+      for (std::size_t i = k + 1; i < n_; ++i) {
+        if (std::fabs(lu_[i][k]) > std::fabs(lu_[pivot][k])) pivot = i;
+      }
+      MSN_CHECK_MSG(std::fabs(lu_[pivot][k]) > 1e-30,
+                    "singular stage matrix");
+      std::swap(lu_[k], lu_[pivot]);
+      std::swap(perm_[k], perm_[pivot]);
+      for (std::size_t i = k + 1; i < n_; ++i) {
+        lu_[i][k] /= lu_[k][k];
+        for (std::size_t j = k + 1; j < n_; ++j) {
+          lu_[i][j] -= lu_[i][k] * lu_[k][j];
+        }
+      }
+    }
+  }
+
+  std::vector<double> Solve(const std::vector<double>& b) const {
+    std::vector<double> x(n_);
+    for (std::size_t i = 0; i < n_; ++i) x[i] = b[perm_[i]];
+    for (std::size_t i = 1; i < n_; ++i) {
+      for (std::size_t j = 0; j < i; ++j) x[i] -= lu_[i][j] * x[j];
+    }
+    for (std::size_t i = n_; i-- > 0;) {
+      for (std::size_t j = i + 1; j < n_; ++j) x[i] -= lu_[i][j] * x[j];
+      x[i] /= lu_[i][i];
+    }
+    return x;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<double>> lu_;
+  std::vector<std::size_t> perm_;
+};
+
+struct SimEngine {
+  const RcTree& tree;
+  const RootedTree& rooted;
+  const RepeaterAssignment& repeaters;
+  const Technology& tech;
+  const CapAnalysis& caps;
+  const std::vector<EffectiveTerminal>& terms;
+  const TransientOptions& options;
+  TransientDelays& out;
+
+  bool IsBoundary(NodeId v, NodeId start) const {
+    return v != start && repeaters.Has(v);
+  }
+
+  double CapAt(NodeId v, NodeId start) const {
+    double cap = 0.0;
+    if (v != start) cap += rooted.ParentCap(v) / 2.0;
+    if (IsBoundary(v, start)) {
+      return cap + repeaters.Resolve(v, tech).CapToward(rooted.Parent(v));
+    }
+    const RcNode& node = tree.Node(v);
+    if (node.kind == NodeKind::kTerminal) {
+      cap += terms[node.terminal_index].pin_cap;
+    }
+    for (const NodeId c : rooted.Children(v)) {
+      cap += rooted.ParentCap(c) / 2.0;
+    }
+    return cap;
+  }
+
+  /// Simulates the stage rooted at `start` driven by a unit step through
+  /// `driver_res`; writes crossings (base_ps + t50) and recurses.
+  void ProcessStage(NodeId start, double driver_res, double base_ps,
+                    bool write_start) {
+    // Stage members, preorder.
+    std::vector<NodeId> members;
+    std::vector<NodeId> stack{start};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      members.push_back(v);
+      if (IsBoundary(v, start)) continue;
+      for (const NodeId c : rooted.Children(v)) stack.push_back(c);
+    }
+    const std::size_t n = members.size();
+    std::vector<std::size_t> local(tree.NumNodes(),
+                                   static_cast<std::size_t>(-1));
+    for (std::size_t i = 0; i < n; ++i) local[members[i]] = i;
+
+    // Assemble G (with the driver conductance at the start node) and the
+    // diagonal C.
+    std::vector<std::vector<double>> g(n, std::vector<double>(n, 0.0));
+    std::vector<double> c(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      c[i] = CapAt(members[i], start);
+    }
+    g[0][0] += 1.0 / driver_res;  // members[0] == start.
+    for (const NodeId v : members) {
+      if (v == start) continue;
+      const std::size_t i = local[v];
+      const std::size_t p = local[rooted.Parent(v)];
+      // Zero-length stub edges have zero resistance; clamp to a value
+      // far below any real wire (backward Euler is unconditionally
+      // stable, so the stiff branch is harmless).
+      const double cond = 1.0 / std::max(rooted.ParentRes(v), 1e-9);
+      g[i][i] += cond;
+      g[p][p] += cond;
+      g[i][p] -= cond;
+      g[p][i] -= cond;
+    }
+
+    // Stage Elmore constant sets the horizon and the step.
+    const double tau = driver_res * caps.down_load[start];
+    const double dt = std::max(tau, 1e-6) / options.resolution;
+
+    // Backward Euler: (C/dt + G) v_{k+1} = (C/dt) v_k + b.
+    std::vector<std::vector<double>> a = g;
+    for (std::size_t i = 0; i < n; ++i) a[i][i] += c[i] / dt;
+    const LuSolver solver(std::move(a));
+
+    std::vector<double> v(n, 0.0);
+    std::vector<double> crossing(n, -1.0);
+    std::size_t remaining = n;
+    const double t_end = options.max_horizon * std::max(tau, 1e-6);
+    double t = 0.0;
+    while (remaining > 0) {
+      MSN_CHECK_MSG(t <= t_end,
+                    "transient simulation did not settle; stage at node "
+                        << start);
+      std::vector<double> rhs(n);
+      for (std::size_t i = 0; i < n; ++i) rhs[i] = c[i] / dt * v[i];
+      rhs[0] += 1.0 / driver_res;  // Unit step source.
+      std::vector<double> next = solver.Solve(rhs);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (crossing[i] < 0.0 && next[i] >= options.threshold) {
+          // Linear interpolation inside the step.
+          const double f = (options.threshold - v[i]) / (next[i] - v[i]);
+          crossing[i] = t + f * dt;
+          --remaining;
+        }
+      }
+      v = std::move(next);
+      t += dt;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (members[i] == start && !write_start) continue;
+      out.arrival_ps[members[i]] = base_ps + crossing[i];
+    }
+
+    for (const NodeId w : members) {
+      if (!IsBoundary(w, start)) continue;
+      const ResolvedRepeater r = repeaters.Resolve(w, tech);
+      const NodeId from = rooted.Parent(w);
+      ProcessStage(w, r.ResFrom(from),
+                   base_ps + crossing[local[w]] + r.IntrinsicFrom(from),
+                   /*write_start=*/false);
+    }
+  }
+};
+
+}  // namespace
+
+TransientDelays SimulateSource(const RcTree& tree,
+                               std::size_t source_terminal,
+                               const RepeaterAssignment& repeaters,
+                               const DriverAssignment& drivers,
+                               const Technology& tech,
+                               const TransientOptions& options) {
+  MSN_CHECK_MSG(source_terminal < tree.NumTerminals(),
+                "source terminal out of range");
+  MSN_CHECK_MSG(options.threshold > 0.0 && options.threshold < 1.0,
+                "threshold must be in (0, 1)");
+  MSN_CHECK_MSG(options.resolution >= 10.0, "resolution too coarse");
+  const EffectiveTerminal src = drivers.Resolve(tree, source_terminal);
+  MSN_CHECK_MSG(src.is_source,
+                "terminal " << source_terminal << " is not a source");
+
+  const NodeId root = tree.TerminalNode(source_terminal);
+  const RootedTree rooted(tree, root);
+  const CapAnalysis caps = ComputeCaps(rooted, repeaters, drivers, tech);
+  const std::vector<EffectiveTerminal> terms =
+      ResolveTerminals(tree, drivers);
+
+  TransientDelays out;
+  out.source_terminal = source_terminal;
+  out.arrival_ps.assign(tree.NumNodes(), -kInf);
+
+  SimEngine engine{tree, rooted, repeaters, tech,
+                   caps, terms,  options,   out};
+  engine.ProcessStage(root, src.driver_res,
+                      src.arrival_ps + src.driver_intrinsic_ps,
+                      /*write_start=*/true);
+  return out;
+}
+
+ArdResult ComputeArdGolden(const RcTree& tree,
+                           const RepeaterAssignment& repeaters,
+                           const DriverAssignment& drivers,
+                           const Technology& tech,
+                           const TransientOptions& options) {
+  ArdResult best;
+  best.ard_ps = -kInf;
+  for (std::size_t u = 0; u < tree.NumTerminals(); ++u) {
+    if (!drivers.Resolve(tree, u).is_source) continue;
+    const TransientDelays sim =
+        SimulateSource(tree, u, repeaters, drivers, tech, options);
+    for (std::size_t t = 0; t < tree.NumTerminals(); ++t) {
+      if (t == u) continue;
+      const EffectiveTerminal term = drivers.Resolve(tree, t);
+      if (!term.is_sink) continue;
+      const double d =
+          sim.arrival_ps[tree.TerminalNode(t)] + term.downstream_ps;
+      if (d > best.ard_ps) {
+        best.ard_ps = d;
+        best.critical_source = u;
+        best.critical_sink = t;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace msn

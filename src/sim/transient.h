@@ -1,0 +1,68 @@
+// Golden-reference transient simulation of the buffered RC tree.
+//
+// The Elmore delay the paper optimizes is a provable *upper bound* on the
+// true 50% step-response delay of an RC tree; D2M (elmore/moments.*)
+// sharpens it.  To judge both, this module numerically integrates each
+// buffered stage's exact pi-lumped RC network:
+//
+//   C dv/dt = -G v + G_src · u(t)
+//
+// with backward Euler (unconditionally stable), measuring the 50%
+// crossing at every node.  Buffered stages are independent first-order
+// systems under the ideal-switch buffer model the whole paper uses: a
+// repeater's output starts its own step when its input crosses 50%, plus
+// the intrinsic delay — mirroring the stage recursion of the moment
+// engine, so all three engines (Elmore, D2M, golden) are directly
+// comparable per node.
+//
+// This is a simulator substrate, not a delay *model*: O(n³) factorization
+// plus O(n²) per time step per stage.  Use it to validate, not to
+// optimize.
+#ifndef MSN_SIM_TRANSIENT_H
+#define MSN_SIM_TRANSIENT_H
+
+#include <vector>
+
+#include "elmore/delay.h"
+#include "rctree/assignment.h"
+#include "rctree/rctree.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+struct TransientOptions {
+  /// Threshold crossing defining "delay" (0.5 = the 50% point).
+  double threshold = 0.5;
+  /// Time step = (stage Elmore time constant) / resolution.
+  double resolution = 400.0;
+  /// Give up if a node hasn't crossed by this many stage Elmore
+  /// constants (checked; indicates a modelling bug).
+  double max_horizon = 50.0;
+};
+
+/// 50% arrival times (ps) from one source, comparable with
+/// SourceDelays::arrival (the source node reports the driver-output
+/// crossing, like SourceMoments::delay_ps).
+struct TransientDelays {
+  std::size_t source_terminal = 0;
+  std::vector<double> arrival_ps;
+};
+
+/// Simulates the net driven from `source_terminal`.
+TransientDelays SimulateSource(const RcTree& tree,
+                               std::size_t source_terminal,
+                               const RepeaterAssignment& repeaters,
+                               const DriverAssignment& drivers,
+                               const Technology& tech,
+                               const TransientOptions& options = {});
+
+/// Augmented RC-diameter under simulated 50% delays: O(k · sim).
+ArdResult ComputeArdGolden(const RcTree& tree,
+                           const RepeaterAssignment& repeaters,
+                           const DriverAssignment& drivers,
+                           const Technology& tech,
+                           const TransientOptions& options = {});
+
+}  // namespace msn
+
+#endif  // MSN_SIM_TRANSIENT_H

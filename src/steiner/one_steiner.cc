@@ -1,0 +1,60 @@
+#include "steiner/one_steiner.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "geom/hanan.h"
+#include "steiner/spanning.h"
+
+namespace msn {
+namespace {
+
+}  // namespace
+
+SteinerTree IteratedOneSteiner(const std::vector<Point>& terminals,
+                               const OneSteinerOptions& options) {
+  MSN_CHECK_MSG(!terminals.empty(), "Steiner tree of empty terminal set");
+
+  std::vector<Point> pts = terminals;
+  std::unordered_set<Point> present(pts.begin(), pts.end());
+  std::vector<Point> candidates = HananCandidates(terminals);
+
+  const std::size_t max_added =
+      options.max_steiner_points == 0
+          ? (terminals.size() >= 2 ? terminals.size() - 2 : 0)
+          : options.max_steiner_points;
+
+  std::int64_t base = RectilinearMstLength(pts);
+  for (std::size_t added = 0; added < max_added; ++added) {
+    std::int64_t best_gain = 0;
+    std::size_t best_idx = candidates.size();
+    pts.push_back({});  // Scratch slot for candidate evaluation.
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (present.contains(candidates[i])) continue;
+      pts.back() = candidates[i];
+      const std::int64_t gain = base - RectilinearMstLength(pts);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_idx = i;
+      }
+    }
+    if (best_idx == candidates.size()) {
+      pts.pop_back();
+      break;  // No improving candidate.
+    }
+    pts.back() = candidates[best_idx];
+    present.insert(candidates[best_idx]);
+    base -= best_gain;
+  }
+
+  SteinerTree tree;
+  tree.points = std::move(pts);
+  tree.num_terminals = terminals.size();
+  tree.edges = RectilinearMstEdges(tree.points);
+  SpliceAndPruneSteinerPoints(tree);
+  tree.Validate();
+  return tree;
+}
+
+}  // namespace msn

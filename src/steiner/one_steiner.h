@@ -1,0 +1,38 @@
+// Iterated 1-Steiner heuristic for rectilinear Steiner trees.
+//
+// Kahng–Robins style: repeatedly add the Hanan-grid candidate point whose
+// inclusion most reduces the MST length over the current point set; stop
+// when no candidate improves.  Finish by pruning degree-1 Steiner points
+// and splicing out degree-2 Steiner points (the direct edge is never longer
+// under the Manhattan metric, so both clean-ups are cost-non-increasing).
+//
+// This is the stand-in for the paper's P-Tree topology generator (see
+// DESIGN.md §5): the repeater-insertion DP is topology-agnostic, and
+// iterated 1-Steiner trees are within a few percent of optimal at the
+// paper's net sizes.
+#ifndef MSN_STEINER_ONE_STEINER_H
+#define MSN_STEINER_ONE_STEINER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "steiner/topology.h"
+
+namespace msn {
+
+/// Options for the iterated 1-Steiner construction.
+struct OneSteinerOptions {
+  /// Upper bound on the number of Steiner points added (0 = no limit
+  /// beyond the natural n-2 maximum for n terminals).
+  std::size_t max_steiner_points = 0;
+};
+
+/// Builds a rectilinear Steiner tree over `terminals` (≥1 — checked).
+/// Resulting tree keeps terminals at indices [0, n) in input order.
+SteinerTree IteratedOneSteiner(const std::vector<Point>& terminals,
+                               const OneSteinerOptions& options = {});
+
+}  // namespace msn
+
+#endif  // MSN_STEINER_ONE_STEINER_H

@@ -1,0 +1,63 @@
+#include "steiner/prim_dijkstra.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace msn {
+
+SteinerTree PrimDijkstra(const std::vector<Point>& terminals,
+                         std::size_t root_index, double c) {
+  MSN_CHECK_MSG(!terminals.empty(), "Prim-Dijkstra over empty terminals");
+  MSN_CHECK_MSG(root_index < terminals.size(), "root index out of range");
+  MSN_CHECK_MSG(c >= 0.0 && c <= 1.0,
+                "Prim-Dijkstra parameter must be in [0, 1]; got " << c);
+  const std::size_t n = terminals.size();
+  constexpr double kFar = std::numeric_limits<double>::max();
+
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> pathlen(n, 0.0);  // Root-to-vertex tree path length.
+  std::vector<double> best_score(n, kFar);
+  std::vector<std::size_t> best_from(n, root_index);
+
+  SteinerTree tree;
+  tree.points = terminals;
+  tree.num_terminals = n;
+  tree.edges.reserve(n - 1);
+
+  std::size_t current = root_index;
+  in_tree[current] = true;
+  for (std::size_t added = 1; added < n; ++added) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const double score =
+          c * pathlen[current] +
+          static_cast<double>(ManhattanDistance(terminals[current],
+                                                terminals[v]));
+      if (score < best_score[v]) {
+        best_score[v] = score;
+        best_from[v] = current;
+      }
+    }
+    std::size_t next = n;
+    double next_score = kFar;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best_score[v] < next_score) {
+        next = v;
+        next_score = best_score[v];
+      }
+    }
+    MSN_DCHECK(next < n);
+    in_tree[next] = true;
+    pathlen[next] =
+        pathlen[best_from[next]] +
+        static_cast<double>(
+            ManhattanDistance(terminals[best_from[next]], terminals[next]));
+    tree.edges.push_back({best_from[next], next});
+    current = next;
+  }
+  tree.Validate();
+  return tree;
+}
+
+}  // namespace msn

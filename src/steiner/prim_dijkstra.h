@@ -1,0 +1,33 @@
+// Prim–Dijkstra spanning-tree tradeoff (Alpert et al. style).
+//
+// Grows a tree from a designated root; vertex v is attached through the
+// frontier edge minimizing
+//
+//     c · pathlength(root -> u)  +  dist(u, v)
+//
+// with c in [0, 1]: c = 0 reproduces Prim's MST (minimum wirelength),
+// c = 1 reproduces Dijkstra's shortest-path tree (minimum source
+// eccentricity, more wire).  Intermediate c trades wirelength against
+// path directness — a lightweight timing-driven topology generator, the
+// spanning-tree stand-in for the P-Tree router the paper uses, and the
+// substrate for studying how topology choice affects the optimizer
+// (bench_topology).
+#ifndef MSN_STEINER_PRIM_DIJKSTRA_H
+#define MSN_STEINER_PRIM_DIJKSTRA_H
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "steiner/topology.h"
+
+namespace msn {
+
+/// Builds the Prim–Dijkstra tree over `terminals` rooted at index
+/// `root_index` with tradeoff parameter `c` in [0, 1] (checked).
+SteinerTree PrimDijkstra(const std::vector<Point>& terminals,
+                         std::size_t root_index, double c);
+
+}  // namespace msn
+
+#endif  // MSN_STEINER_PRIM_DIJKSTRA_H

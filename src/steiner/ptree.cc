@@ -1,0 +1,183 @@
+#include "steiner/ptree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "geom/hanan.h"
+
+namespace msn {
+namespace {
+
+/// Angular sweep around the centroid — the hull-like tour the P-Tree
+/// paper recommends as the permutation heuristic.
+std::vector<std::size_t> AngularTour(const std::vector<Point>& terminals) {
+  double cx = 0.0, cy = 0.0;
+  for (const Point& p : terminals) {
+    cx += static_cast<double>(p.x);
+    cy += static_cast<double>(p.y);
+  }
+  cx /= static_cast<double>(terminals.size());
+  cy /= static_cast<double>(terminals.size());
+
+  std::vector<std::size_t> tour(terminals.size());
+  for (std::size_t i = 0; i < tour.size(); ++i) tour[i] = i;
+  std::sort(tour.begin(), tour.end(), [&](std::size_t a, std::size_t b) {
+    const double aa = std::atan2(static_cast<double>(terminals[a].y) - cy,
+                                 static_cast<double>(terminals[a].x) - cx);
+    const double ab = std::atan2(static_cast<double>(terminals[b].y) - cy,
+                                 static_cast<double>(terminals[b].x) - cx);
+    if (aa != ab) return aa < ab;
+    return terminals[a] < terminals[b];
+  });
+  return tour;
+}
+
+}  // namespace
+
+SteinerTree PTree(const std::vector<Point>& terminals,
+                  const PTreeOptions& options) {
+  MSN_CHECK_MSG(!terminals.empty(), "P-Tree over empty terminal set");
+  const std::size_t n = terminals.size();
+
+  SteinerTree tree;
+  tree.points = terminals;
+  tree.num_terminals = n;
+  if (n == 1) return tree;
+
+  std::vector<std::size_t> tour =
+      options.tour.empty() ? AngularTour(terminals) : options.tour;
+  MSN_CHECK_MSG(tour.size() == n, "tour must permute all terminals");
+  {
+    std::vector<bool> seen(n, false);
+    for (const std::size_t t : tour) {
+      MSN_CHECK_MSG(t < n && !seen[t], "tour is not a permutation");
+      seen[t] = true;
+    }
+  }
+
+  const std::vector<Point> hanan = HananGrid(terminals);
+  const std::size_t m = hanan.size();
+
+  // Interval indexing: id(i, j) for 0 <= i <= j < n.
+  auto interval = [n](std::size_t i, std::size_t j) {
+    return i * n + j;
+  };
+
+  constexpr double kFar = std::numeric_limits<double>::max();
+  // C[iv][p]: min wirelength of a tree spanning tour[i..j] whose root is
+  // embedded at hanan[p].
+  // A[iv][p]: min over q of C[iv][q] + d(p, q) ("attached below p"),
+  // with the realizing q recorded for reconstruction.
+  std::vector<std::vector<double>> c(n * n);
+  std::vector<std::vector<double>> attach(n * n);
+  std::vector<std::vector<std::uint32_t>> attach_q(n * n);
+  std::vector<std::vector<std::uint32_t>> split_k(n * n);
+
+  auto build_attach = [&](std::size_t iv) {
+    attach[iv].assign(m, kFar);
+    attach_q[iv].assign(m, 0);
+    for (std::size_t p = 0; p < m; ++p) {
+      double best = kFar;
+      std::uint32_t best_q = 0;
+      for (std::size_t q = 0; q < m; ++q) {
+        const double v =
+            c[iv][q] +
+            static_cast<double>(ManhattanDistance(hanan[p], hanan[q]));
+        if (v < best) {
+          best = v;
+          best_q = static_cast<std::uint32_t>(q);
+        }
+      }
+      attach[iv][p] = best;
+      attach_q[iv][p] = best_q;
+    }
+  };
+
+  // Base intervals.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t iv = interval(i, i);
+    c[iv].assign(m, 0.0);
+    for (std::size_t p = 0; p < m; ++p) {
+      c[iv][p] = static_cast<double>(
+          ManhattanDistance(hanan[p], terminals[tour[i]]));
+    }
+    build_attach(iv);
+  }
+
+  // Longer intervals, increasing length.
+  for (std::size_t len = 2; len <= n; ++len) {
+    for (std::size_t i = 0; i + len <= n; ++i) {
+      const std::size_t j = i + len - 1;
+      const std::size_t iv = interval(i, j);
+      c[iv].assign(m, kFar);
+      split_k[iv].assign(m, 0);
+      for (std::size_t p = 0; p < m; ++p) {
+        for (std::size_t k = i; k < j; ++k) {
+          const double v = attach[interval(i, k)][p] +
+                           attach[interval(k + 1, j)][p];
+          if (v < c[iv][p]) {
+            c[iv][p] = v;
+            split_k[iv][p] = static_cast<std::uint32_t>(k);
+          }
+        }
+      }
+      build_attach(iv);
+    }
+  }
+
+  // Best overall root embedding.
+  const std::size_t top = interval(0, n - 1);
+  std::size_t root_p = 0;
+  for (std::size_t p = 1; p < m; ++p) {
+    if (c[top][p] < c[top][root_p]) root_p = p;
+  }
+
+  // Reconstruction: emit Steiner points for embedded internal nodes.
+  struct Frame {
+    std::size_t i, j, p;     ///< Interval and embedding.
+    std::size_t parent;      ///< Tree node to connect to.
+  };
+  auto add_steiner = [&tree, &hanan](std::size_t p) {
+    tree.points.push_back(hanan[p]);
+    return tree.points.size() - 1;
+  };
+  const std::size_t root_node = add_steiner(root_p);
+  std::vector<Frame> stack{{0, n - 1, root_p, root_node}};
+  // The first frame's node is the root itself (no parent edge), marked by
+  // parent == its own index; expand splits below it.
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.i == f.j) {
+      tree.edges.push_back({f.parent, tour[f.i]});
+      continue;
+    }
+    const std::size_t iv = interval(f.i, f.j);
+    const std::size_t k = split_k[iv][f.p];
+    for (const auto& [lo, hi] :
+         {std::pair<std::size_t, std::size_t>{f.i, k},
+          std::pair<std::size_t, std::size_t>{k + 1, f.j}}) {
+      const std::size_t q = attach_q[interval(lo, hi)][f.p];
+      if (lo == hi) {
+        // Child is a bare terminal; connect it through its embedding q
+        // only if that differs from the terminal itself (it never pays
+        // to detour, and C[ii][q] already includes d(q, terminal)).
+        const std::size_t child = add_steiner(q);
+        tree.edges.push_back({f.parent, child});
+        tree.edges.push_back({child, tour[lo]});
+        continue;
+      }
+      const std::size_t child = add_steiner(q);
+      tree.edges.push_back({f.parent, child});
+      stack.push_back({lo, hi, q, child});
+    }
+  }
+
+  SpliceAndPruneSteinerPoints(tree);
+  tree.Validate();
+  return tree;
+}
+
+}  // namespace msn

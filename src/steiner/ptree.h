@@ -1,0 +1,47 @@
+// P-Tree-style topology generation (the paper's ref [16], Lillis, Cheng,
+// Lin, Ho: "New performance driven routing techniques with explicit
+// area/delay tradeoff...").
+//
+// P-Tree fixes a permutation of the terminals (a tour) and then, by
+// dynamic programming over contiguous intervals of that tour, chooses the
+// best *binary* abstract routing tree together with an embedding of its
+// internal nodes onto Hanan-grid candidates:
+//
+//   cost[i..j][p] = min over split k in [i, j) and child embeddings q1,q2
+//                   of cost[i..k][q1] + d(p, q1) +
+//                      cost[k+1..j][q2] + d(p, q2)
+//
+// This implementation optimizes total rectilinear wirelength (the
+// classic P-Tree "area" objective); the tour comes from an angular sweep
+// around the terminal centroid (the hull-like tours the P-Tree paper
+// recommends).  Complexity O(n² · |H|²) with |H| = O(n²) Hanan points —
+// comfortably within the paper's 10–20-terminal experiments.
+//
+// Replaces the iterated-1-Steiner stand-in for topology generation where
+// fidelity to the paper's setup matters (see DESIGN.md §5).
+#ifndef MSN_STEINER_PTREE_H
+#define MSN_STEINER_PTREE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "steiner/topology.h"
+
+namespace msn {
+
+struct PTreeOptions {
+  /// Optional explicit tour (a permutation of [0, n)); empty = angular
+  /// sweep around the centroid.
+  std::vector<std::size_t> tour;
+};
+
+/// Builds the minimum-wirelength P-Tree over `terminals` (>= 1 — checked).
+/// Terminals keep their input order at indices [0, n); embedded internal
+/// nodes follow as Steiner points.
+SteinerTree PTree(const std::vector<Point>& terminals,
+                  const PTreeOptions& options = {});
+
+}  // namespace msn
+
+#endif  // MSN_STEINER_PTREE_H

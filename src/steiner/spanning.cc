@@ -1,0 +1,66 @@
+#include "steiner/spanning.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace msn {
+
+std::vector<SteinerEdge> RectilinearMstEdges(
+    const std::vector<Point>& points) {
+  MSN_CHECK_MSG(!points.empty(), "MST of empty point set");
+  const std::size_t n = points.size();
+  constexpr std::int64_t kFar = std::numeric_limits<std::int64_t>::max();
+
+  std::vector<bool> in_tree(n, false);
+  std::vector<std::int64_t> best_dist(n, kFar);
+  std::vector<std::size_t> best_from(n, 0);
+  std::vector<SteinerEdge> edges;
+  edges.reserve(n - 1);
+
+  std::size_t current = 0;
+  in_tree[0] = true;
+  for (std::size_t added = 1; added < n; ++added) {
+    // Relax distances from the vertex added last.
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const std::int64_t d = ManhattanDistance(points[current], points[v]);
+      if (d < best_dist[v]) {
+        best_dist[v] = d;
+        best_from[v] = current;
+      }
+    }
+    // Pick the closest outside vertex.
+    std::size_t next = n;
+    std::int64_t next_dist = kFar;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best_dist[v] < next_dist) {
+        next = v;
+        next_dist = best_dist[v];
+      }
+    }
+    MSN_DCHECK(next < n);
+    in_tree[next] = true;
+    edges.push_back({best_from[next], next});
+    current = next;
+  }
+  return edges;
+}
+
+std::int64_t RectilinearMstLength(const std::vector<Point>& points) {
+  std::int64_t total = 0;
+  for (const SteinerEdge& e : RectilinearMstEdges(points)) {
+    total += ManhattanDistance(points[e.a], points[e.b]);
+  }
+  return total;
+}
+
+SteinerTree RectilinearMst(const std::vector<Point>& terminals) {
+  SteinerTree tree;
+  tree.points = terminals;
+  tree.num_terminals = terminals.size();
+  tree.edges = RectilinearMstEdges(terminals);
+  return tree;
+}
+
+}  // namespace msn

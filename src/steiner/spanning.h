@@ -1,0 +1,30 @@
+// Rectilinear minimum spanning tree (Prim's algorithm).
+//
+// The MST is both the fallback topology and the inner evaluation of the
+// iterated 1-Steiner heuristic.  O(n²) Prim on the complete graph under the
+// Manhattan metric, which is the right complexity regime for the paper's
+// 10–20-terminal nets (and comfortably handles hundreds of points).
+#ifndef MSN_STEINER_SPANNING_H
+#define MSN_STEINER_SPANNING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "steiner/topology.h"
+
+namespace msn {
+
+/// Edges of a rectilinear MST over `points` (at least one point — checked).
+std::vector<SteinerEdge> RectilinearMstEdges(const std::vector<Point>& points);
+
+/// Total rectilinear MST length over `points`, in µm.
+std::int64_t RectilinearMstLength(const std::vector<Point>& points);
+
+/// Convenience: full SteinerTree whose points are exactly `terminals` and
+/// whose edges form the rectilinear MST.
+SteinerTree RectilinearMst(const std::vector<Point>& terminals);
+
+}  // namespace msn
+
+#endif  // MSN_STEINER_SPANNING_H

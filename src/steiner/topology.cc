@@ -1,0 +1,129 @@
+#include "steiner/topology.h"
+
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace msn {
+namespace {
+
+/// Union-find over point indices, used for the spanning-tree check.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // Path halving.
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns false if x and y were already in the same set.
+  bool Union(std::size_t x, std::size_t y) {
+    x = Find(x);
+    y = Find(y);
+    if (x == y) return false;
+    parent_[x] = y;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::int64_t SteinerTree::TotalLength() const {
+  std::int64_t total = 0;
+  for (const SteinerEdge& e : edges) total += EdgeLength(e);
+  return total;
+}
+
+std::vector<std::size_t> SteinerTree::Degrees() const {
+  std::vector<std::size_t> deg(points.size(), 0);
+  for (const SteinerEdge& e : edges) {
+    ++deg[e.a];
+    ++deg[e.b];
+  }
+  return deg;
+}
+
+void SteinerTree::Validate() const {
+  MSN_CHECK_MSG(num_terminals >= 1, "tree must span at least one terminal");
+  MSN_CHECK_MSG(num_terminals <= points.size(),
+                "num_terminals exceeds point count");
+  MSN_CHECK_MSG(points.size() == edges.size() + 1,
+                "edge count must be |V|-1 for a tree; got |V|="
+                    << points.size() << " |E|=" << edges.size());
+  DisjointSets dsu(points.size());
+  for (const SteinerEdge& e : edges) {
+    MSN_CHECK_MSG(e.a < points.size() && e.b < points.size(),
+                  "edge index out of range");
+    MSN_CHECK_MSG(e.a != e.b, "self-loop edge");
+    MSN_CHECK_MSG(dsu.Union(e.a, e.b), "cycle detected in Steiner tree");
+  }
+  // |E| = |V|-1 and acyclic imply connected.
+}
+
+void SpliceAndPruneSteinerPoints(SteinerTree& tree) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::size_t> deg = tree.Degrees();
+
+    // Splice degree-2 Steiner points: (a,s),(s,b) -> (a,b).
+    for (std::size_t s = tree.num_terminals; s < tree.points.size(); ++s) {
+      if (deg[s] != 2) continue;
+      std::size_t nbr[2];
+      std::size_t found = 0;
+      for (const SteinerEdge& e : tree.edges) {
+        if (e.a == s) nbr[found++] = e.b;
+        else if (e.b == s) nbr[found++] = e.a;
+      }
+      MSN_DCHECK(found == 2);
+      std::erase_if(tree.edges, [s](const SteinerEdge& e) {
+        return e.a == s || e.b == s;
+      });
+      tree.edges.push_back({nbr[0], nbr[1]});
+      deg[s] = 0;  // Now isolated; removed below.
+      changed = true;
+    }
+
+    // Drop isolated or degree-1 Steiner points (deg 0 arises from splices).
+    std::vector<std::size_t> remap(tree.points.size());
+    std::vector<Point> kept_points;
+    kept_points.reserve(tree.points.size());
+    bool dropped = false;
+    for (std::size_t i = 0; i < tree.points.size(); ++i) {
+      const bool steiner = i >= tree.num_terminals;
+      if (steiner && deg[i] <= 1) {
+        remap[i] = static_cast<std::size_t>(-1);
+        dropped = true;
+        continue;
+      }
+      remap[i] = kept_points.size();
+      kept_points.push_back(tree.points[i]);
+    }
+    if (dropped) {
+      std::vector<SteinerEdge> kept_edges;
+      kept_edges.reserve(tree.edges.size());
+      for (const SteinerEdge& e : tree.edges) {
+        if (remap[e.a] == static_cast<std::size_t>(-1) ||
+            remap[e.b] == static_cast<std::size_t>(-1)) {
+          continue;  // Edge incident to a dropped degree-1 Steiner point.
+        }
+        kept_edges.push_back({remap[e.a], remap[e.b]});
+      }
+      tree.points = std::move(kept_points);
+      tree.edges = std::move(kept_edges);
+      changed = true;
+    }
+  }
+}
+
+}  // namespace msn

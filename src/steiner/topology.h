@@ -1,0 +1,60 @@
+// Geometric tree container shared by the Steiner constructions.
+//
+// A SteinerTree is an undirected tree over a point set whose first
+// `num_terminals` points are the net's terminals (in caller order); any
+// further points are Steiner (branch) points introduced by the heuristics.
+// Edge lengths are rectilinear distances; the electrical layer
+// (src/rctree/) converts lengths to RC values.
+#ifndef MSN_STEINER_TOPOLOGY_H
+#define MSN_STEINER_TOPOLOGY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace msn {
+
+/// Undirected edge between point indices `a` and `b`.
+struct SteinerEdge {
+  std::size_t a = 0;
+  std::size_t b = 0;
+
+  friend bool operator==(const SteinerEdge&, const SteinerEdge&) = default;
+};
+
+/// A geometric routing tree (terminals + optional Steiner points + edges).
+struct SteinerTree {
+  std::vector<Point> points;
+  std::size_t num_terminals = 0;
+  std::vector<SteinerEdge> edges;
+
+  std::size_t NumPoints() const { return points.size(); }
+  bool IsTerminal(std::size_t idx) const { return idx < num_terminals; }
+
+  /// Rectilinear length of edge `e`, in µm.
+  std::int64_t EdgeLength(const SteinerEdge& e) const {
+    return ManhattanDistance(points[e.a], points[e.b]);
+  }
+
+  /// Total rectilinear wirelength, in µm.
+  std::int64_t TotalLength() const;
+
+  /// Degree of each point (indexed like `points`).
+  std::vector<std::size_t> Degrees() const;
+
+  /// Throws msn::CheckError unless the edge set forms a spanning tree over
+  /// all points (connected, acyclic, |E| = |V| - 1, indices in range).
+  void Validate() const;
+};
+
+/// Removes degree-1 Steiner points and splices degree-2 Steiner points
+/// out of `tree`, in place.  Both transformations never increase
+/// wirelength under the Manhattan metric (triangle inequality for the
+/// splice).  Shared by the 1-Steiner and P-Tree constructions.
+void SpliceAndPruneSteinerPoints(SteinerTree& tree);
+
+}  // namespace msn
+
+#endif  // MSN_STEINER_TOPOLOGY_H

@@ -1,0 +1,161 @@
+#include "tech/tech.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/numeric.h"
+
+namespace msn {
+
+Repeater Repeater::FromBufferPair(const Buffer& b) {
+  Repeater r;
+  r.name = b.name + "-pair";
+  r.intrinsic_ab = b.intrinsic_ps;
+  r.res_ab = b.output_res;
+  r.intrinsic_ba = b.intrinsic_ps;
+  r.res_ba = b.output_res;
+  r.cap_a = b.input_cap;
+  r.cap_b = b.input_cap;
+  r.cost = 2.0 * b.cost;
+  return r;
+}
+
+Repeater Repeater::FromInverterPair(const Buffer& inv) {
+  Repeater r = FromBufferPair(inv);
+  r.name = inv.name + "-invpair";
+  r.inverting = true;
+  return r;
+}
+
+bool Repeater::Symmetric() const {
+  return ApproxEq(intrinsic_ab, intrinsic_ba) && ApproxEq(res_ab, res_ba) &&
+         ApproxEq(cap_a, cap_b);
+}
+
+void Technology::Validate() const {
+  MSN_CHECK_MSG(wire.res_per_um > 0.0, "wire resistance must be positive");
+  MSN_CHECK_MSG(wire.cap_per_um > 0.0, "wire capacitance must be positive");
+  MSN_CHECK_MSG(prev_stage_res >= 0.0, "negative prev-stage resistance");
+  MSN_CHECK_MSG(next_stage_cap >= 0.0, "negative next-stage capacitance");
+  for (const Repeater& r : repeaters) {
+    MSN_CHECK_MSG(r.res_ab > 0.0 && r.res_ba > 0.0,
+                  "repeater '" << r.name << "' has non-positive resistance");
+    MSN_CHECK_MSG(r.cap_a >= 0.0 && r.cap_b >= 0.0,
+                  "repeater '" << r.name << "' has negative capacitance");
+    MSN_CHECK_MSG(r.intrinsic_ab >= 0.0 && r.intrinsic_ba >= 0.0,
+                  "repeater '" << r.name << "' has negative intrinsic delay");
+    MSN_CHECK_MSG(r.cost >= 0.0,
+                  "repeater '" << r.name << "' has negative cost");
+  }
+}
+
+Buffer DefaultBuffer1X() {
+  return Buffer{
+      .name = "buf1x",
+      .intrinsic_ps = 36.4,
+      .output_res = 180.0,
+      .input_cap = 0.05,
+      .cost = 1.0,
+  };
+}
+
+Buffer DefaultInverter1X() {
+  return Buffer{
+      .name = "inv1x",
+      .intrinsic_ps = 18.2,  // Half of the two-stage buffer.
+      .output_res = 180.0,
+      .input_cap = 0.05,
+      .cost = 0.6,
+  };
+}
+
+namespace {
+
+/// "2x", "2.5x" — no trailing zeros.
+std::string SizeLabel(double a) {
+  std::ostringstream os;
+  os << a << 'x';
+  return os.str();
+}
+
+}  // namespace
+
+Buffer ScaledBuffer(const Buffer& base, double a) {
+  MSN_CHECK_MSG(a > 0.0, "buffer scale factor must be positive");
+  Buffer b = base;
+  b.name = base.name + "-" + SizeLabel(a);
+  b.output_res = base.output_res / a;
+  b.input_cap = base.input_cap * a;
+  b.cost = base.cost * a;
+  return b;
+}
+
+Technology DefaultTechnology() {
+  Technology tech;
+  tech.wire = WireParams{.res_per_um = 0.040, .cap_per_um = 0.000118};
+  tech.repeaters = {Repeater::FromBufferPair(DefaultBuffer1X())};
+  tech.prev_stage_res = 400.0;
+  tech.next_stage_cap = 0.2;
+  tech.Validate();
+  return tech;
+}
+
+EffectiveTerminal ResolveTerminal(const TerminalParams& params,
+                                  const TerminalOption& opt) {
+  EffectiveTerminal e;
+  e.arrival_ps = params.arrival_ps + opt.arrival_extra_ps;
+  e.downstream_ps = params.downstream_ps + opt.downstream_extra_ps;
+  e.driver_res = opt.driver_res;
+  e.driver_intrinsic_ps = opt.driver_intrinsic_ps;
+  e.pin_cap = opt.pin_cap;
+  e.is_source = params.is_source;
+  e.is_sink = params.is_sink;
+  return e;
+}
+
+TerminalOption Default1xOption(const Technology& tech) {
+  const Buffer b = DefaultBuffer1X();
+  TerminalOption opt;
+  opt.name = "1x/1x";
+  opt.cost = 2.0 * b.cost;
+  opt.arrival_extra_ps = tech.prev_stage_res * b.input_cap;
+  opt.driver_res = b.output_res;
+  opt.driver_intrinsic_ps = b.intrinsic_ps;
+  opt.pin_cap = b.input_cap;
+  opt.downstream_extra_ps = b.intrinsic_ps + b.output_res * tech.next_stage_cap;
+  return opt;
+}
+
+TerminalParams DefaultTerminal(const Technology& tech) {
+  TerminalParams t;
+  t.driver = Default1xOption(tech);
+  return t;
+}
+
+std::vector<TerminalOption> DriverSizingLibrary(
+    const Technology& tech, const std::vector<double>& sizes) {
+  MSN_CHECK_MSG(!sizes.empty(), "empty size list for driver sizing library");
+  const Buffer base = DefaultBuffer1X();
+  std::vector<TerminalOption> lib;
+  lib.reserve(sizes.size() * sizes.size());
+  for (double drv : sizes) {
+    const Buffer d = ScaledBuffer(base, drv);
+    for (double rcv : sizes) {
+      const Buffer r = ScaledBuffer(base, rcv);
+      TerminalOption opt;
+      opt.name = SizeLabel(drv) + "/" + SizeLabel(rcv);
+      opt.cost = d.cost + r.cost;
+      opt.arrival_extra_ps = tech.prev_stage_res * d.input_cap;
+      opt.driver_res = d.output_res;
+      opt.driver_intrinsic_ps = d.intrinsic_ps;
+      opt.pin_cap = r.input_cap;
+      opt.downstream_extra_ps =
+          r.intrinsic_ps + r.output_res * tech.next_stage_cap;
+      lib.push_back(std::move(opt));
+    }
+  }
+  return lib;
+}
+
+}  // namespace msn

@@ -1,0 +1,202 @@
+// Technology and library parameters (paper Section II, Table I).
+//
+// Unit system (see DESIGN.md §4): resistance in Ω, capacitance in pF,
+// length in µm, time in Ω·pF = 1 ps.
+//
+// A *repeater* is a bidirectional buffer with an A-side and a B-side
+// (paper footnote 1).  Signal direction is A-to-B or B-to-A and each
+// direction has its own intrinsic delay and output resistance; each side
+// presents its own input capacitance.  The paper's experiments build
+// repeaters from a pair of antiparallel unidirectional buffers
+// (Table I caption), which `Repeater::FromBufferPair` reproduces.
+#ifndef MSN_TECH_TECH_H
+#define MSN_TECH_TECH_H
+
+#include <string>
+#include <vector>
+
+namespace msn {
+
+/// Per-unit-length wire parasitics.
+struct WireParams {
+  double res_per_um = 0.0;  ///< Ω per µm.
+  double cap_per_um = 0.0;  ///< pF per µm.
+};
+
+/// A unidirectional buffer (used for single-source baselines and as the
+/// building block of repeaters and sized drivers).
+struct Buffer {
+  std::string name;
+  double intrinsic_ps = 0.0;  ///< Intrinsic delay, ps.
+  double output_res = 0.0;    ///< Output resistance, Ω.
+  double input_cap = 0.0;     ///< Input capacitance, pF.
+  double cost = 0.0;          ///< Cost (e.g. area, in equivalent 1X buffers).
+};
+
+/// Which side of a repeater faces the tree root (the "up" direction).
+enum class RepeaterOrientation {
+  kASideUp,  ///< A-side connects toward the root; B-side toward the leaves.
+  kBSideUp,  ///< B-side connects toward the root.
+};
+
+/// A bidirectional repeater.
+struct Repeater {
+  std::string name;
+  // Signal direction A -> B.
+  double intrinsic_ab = 0.0;  ///< ps.
+  double res_ab = 0.0;        ///< Ω, output resistance driving the B side.
+  // Signal direction B -> A.
+  double intrinsic_ba = 0.0;  ///< ps.
+  double res_ba = 0.0;        ///< Ω.
+  double cap_a = 0.0;         ///< pF, input capacitance presented at A.
+  double cap_b = 0.0;         ///< pF, input capacitance presented at B.
+  double cost = 0.0;
+  /// True for a repeater built from inverters: it flips signal polarity
+  /// in both directions.  Every source-to-sink path must then cross an
+  /// even number of inverting repeaters (paper Section V extension); the
+  /// DP tracks this as a parity bit per subsolution.
+  bool inverting = false;
+
+  /// Builds the paper's repeater: two antiparallel copies of `b`
+  /// (cost = 2·b.cost, symmetric in both directions).
+  static Repeater FromBufferPair(const Buffer& b);
+
+  /// Builds an *inverting* repeater from two antiparallel copies of the
+  /// inverter `inv` (typically cheaper and faster than a buffer, which is
+  /// internally a two-stage inverter pair).
+  static Repeater FromInverterPair(const Buffer& inv);
+
+  /// True iff both directions have identical parameters, so the two
+  /// orientations of this repeater are interchangeable.
+  bool Symmetric() const;
+
+  // Orientation-resolved accessors: "up" faces the tree root.
+  double CapUp(RepeaterOrientation o) const {
+    return o == RepeaterOrientation::kASideUp ? cap_a : cap_b;
+  }
+  double CapDown(RepeaterOrientation o) const {
+    return o == RepeaterOrientation::kASideUp ? cap_b : cap_a;
+  }
+  /// Intrinsic delay for a signal travelling downward (root -> leaves).
+  double IntrinsicDown(RepeaterOrientation o) const {
+    return o == RepeaterOrientation::kASideUp ? intrinsic_ab : intrinsic_ba;
+  }
+  double ResDown(RepeaterOrientation o) const {
+    return o == RepeaterOrientation::kASideUp ? res_ab : res_ba;
+  }
+  /// Intrinsic delay for a signal travelling upward (leaves -> root).
+  double IntrinsicUp(RepeaterOrientation o) const {
+    return o == RepeaterOrientation::kASideUp ? intrinsic_ba : intrinsic_ab;
+  }
+  double ResUp(RepeaterOrientation o) const {
+    return o == RepeaterOrientation::kASideUp ? res_ba : res_ab;
+  }
+};
+
+/// One electrical realization of a terminal's driver/receiver pair.
+///
+/// The terminal's input buffer (driver) drives the bus with output
+/// resistance `driver_res` and intrinsic delay `driver_intrinsic_ps`, and
+/// loads the preceding logic stage with its input capacitance
+/// (`arrival_extra_ps` = prev-stage R × driver input cap).  The output
+/// buffer (receiver) presents `pin_cap` to the bus and adds
+/// `downstream_extra_ps` (receiver intrinsic + receiver R × next-stage C)
+/// on the way to a primary output (paper footnote 5).
+///
+/// Driver sizing (paper Section V/VI) is the problem of picking one
+/// TerminalOption per terminal from a library; the default realization is
+/// itself an option (the 1X/1X pair).
+struct TerminalOption {
+  std::string name;
+  double cost = 0.0;  ///< Equivalent 1X buffers (driver + receiver size).
+  double arrival_extra_ps = 0.0;
+  double driver_res = 0.0;           ///< R(v), Ω.
+  double driver_intrinsic_ps = 0.0;  ///< ps.
+  double pin_cap = 0.0;              ///< c(v), pF, seen by the bus.
+  double downstream_extra_ps = 0.0;
+};
+
+/// Timing role and parameters of a net terminal (paper Fig. 1).
+///
+/// `arrival_ps` and `downstream_ps` are the *net-specific* AT(v)/DD(v)
+/// (zero in the paper's experiments, making the measure the unaugmented
+/// RC-diameter); the stage delays of the chosen TerminalOption are added
+/// on top.
+struct TerminalParams {
+  double arrival_ps = 0.0;     ///< AT(v): max PI-to-input-buffer delay.
+  double downstream_ps = 0.0;  ///< DD(v): max output-buffer-to-PO delay.
+  bool is_source = true;  ///< May the terminal drive the bus?
+  bool is_sink = true;    ///< May the terminal receive from the bus?
+  TerminalOption driver;  ///< Default electrical realization.
+};
+
+/// Fully resolved terminal electricals after a driver-sizing choice.
+struct EffectiveTerminal {
+  double arrival_ps = 0.0;     ///< AT + option's prev-stage loading.
+  double downstream_ps = 0.0;  ///< DD + option's receiver delay.
+  double driver_res = 0.0;
+  double driver_intrinsic_ps = 0.0;
+  double pin_cap = 0.0;
+  bool is_source = true;
+  bool is_sink = true;
+};
+
+/// Resolves `params` with the electrical realization `opt`.
+EffectiveTerminal ResolveTerminal(const TerminalParams& params,
+                                  const TerminalOption& opt);
+
+/// Resolves `params` with its own default realization.
+inline EffectiveTerminal ResolveTerminal(const TerminalParams& params) {
+  return ResolveTerminal(params, params.driver);
+}
+
+/// A complete technology description.
+struct Technology {
+  WireParams wire;
+  std::vector<Repeater> repeaters;  ///< Inline repeater library.
+  /// Prev-stage output resistance loading each terminal driver's input, Ω
+  /// (Table I: 400 Ω) and next-stage capacitance driven by each terminal
+  /// receiver, pF (Table I: 0.2 pF); used by the sizing library generator.
+  double prev_stage_res = 0.0;
+  double next_stage_cap = 0.0;
+
+  /// Throws msn::CheckError on non-physical parameters.
+  void Validate() const;
+};
+
+/// The base 1X buffer of the experiments (paper fixes input_cap = 0.05 pF
+/// per 1X; remaining values are representative — DESIGN.md §5).
+Buffer DefaultBuffer1X();
+
+/// A 1X inverter: a buffer is two cascaded inverters, so the single
+/// inverter has roughly half the intrinsic delay and cost of
+/// DefaultBuffer1X() with the same drive strength.
+Buffer DefaultInverter1X();
+
+/// An `a`X scaled copy of `base`: cost a·cost, resistance R/a,
+/// capacitance a·C, same intrinsic delay (paper Section VI).
+Buffer ScaledBuffer(const Buffer& base, double a);
+
+/// Default technology of Table I: representative submicron wire
+/// parasitics, one repeater built from a pair of 1X buffers,
+/// prev-stage R = 400 Ω, next-stage C = 0.2 pF.
+Technology DefaultTechnology();
+
+/// The 1X/1X driver/receiver realization with Table-I stage loading.
+TerminalOption Default1xOption(const Technology& tech);
+
+/// Terminal params used throughout the experiments: all terminals are both
+/// sources and sinks, AT = DD = 0 (unaugmented RC-diameter), 1X driver and
+/// 1X receiver with the Table-I prev/next-stage loading.
+TerminalParams DefaultTerminal(const Technology& tech);
+
+/// Driver-sizing library (Section VI): every (driver size, receiver size)
+/// pair from `sizes`, each size drawn from scaled copies of
+/// `DefaultBuffer1X()`.  Cost of an option = driver size + receiver size
+/// (equivalent 1X buffers).
+std::vector<TerminalOption> DriverSizingLibrary(
+    const Technology& tech, const std::vector<double>& sizes);
+
+}  // namespace msn
+
+#endif  // MSN_TECH_TECH_H

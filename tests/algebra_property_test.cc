@@ -1,0 +1,81 @@
+// Randomized algebraic property tests for the small foundations the DP
+// leans on: interval-set algebra and the quantized wire-cost helper.
+#include <gtest/gtest.h>
+
+#include "common/interval_set.h"
+#include "common/rng.h"
+#include "core/msri.h"
+
+namespace msn {
+namespace {
+
+IntervalSet RandomSet(Rng& rng) {
+  std::vector<Interval> iv;
+  const int n = static_cast<int>(rng.UniformInt(0, 6));
+  for (int i = 0; i < n; ++i) {
+    const double lo = rng.UniformReal(0.0, 50.0);
+    iv.push_back({lo, lo + rng.UniformReal(0.0, 10.0)});
+  }
+  if (rng.Chance(0.3)) iv.push_back({rng.UniformReal(0.0, 60.0), kInf});
+  return IntervalSet(std::move(iv));
+}
+
+class IntervalAlgebra : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalAlgebra, SetLawsHoldPointwise) {
+  Rng rng(GetParam());
+  const IntervalSet a = RandomSet(rng);
+  const IntervalSet b = RandomSet(rng);
+  const IntervalSet all = IntervalSet::NonNegativeReals();
+
+  const IntervalSet a_union_b = a.Union(b);
+  const IntervalSet a_inter_b = a.Intersect(b);
+  const IntervalSet a_minus_b = a.Subtract(b);
+  const IntervalSet compl_a = all.Subtract(a);
+  const IntervalSet demorgan = all.Subtract(a_union_b);
+  const IntervalSet compl_inter = compl_a.Intersect(all.Subtract(b));
+
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.UniformReal(0.0, 80.0);
+    const bool in_a = a.Contains(x);
+    const bool in_b = b.Contains(x);
+    EXPECT_EQ(a_union_b.Contains(x), in_a || in_b) << x;
+    EXPECT_EQ(a_inter_b.Contains(x), in_a && in_b) << x;
+    EXPECT_EQ(a_minus_b.Contains(x), in_a && !in_b) << x;
+    EXPECT_EQ(compl_a.Contains(x), !in_a) << x;
+    // De Morgan: not(a or b) == (not a) and (not b).
+    EXPECT_EQ(demorgan.Contains(x), compl_inter.Contains(x)) << x;
+  }
+}
+
+TEST_P(IntervalAlgebra, ShiftCommutesWithMembership) {
+  Rng rng(GetParam() + 1000);
+  const IntervalSet a = RandomSet(rng);
+  const double delta = rng.UniformReal(-20.0, 20.0);
+  const IntervalSet shifted = a.Shift(delta);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.UniformReal(0.0, 80.0);
+    // shifted contains x iff a contains x - delta (and x - delta was not
+    // clipped below zero membership — the clip only removes x < 0).
+    EXPECT_EQ(shifted.Contains(x), a.Contains(x - delta)) << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalAlgebra,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(WireAreaCostHelper, QuantizationAndBaseWidth) {
+  // Base width is free.
+  EXPECT_DOUBLE_EQ(WireAreaCost(0.0005, 1234.0, 1.0, 0.05), 0.0);
+  // Unquantized raw cost.
+  EXPECT_DOUBLE_EQ(WireAreaCost(0.001, 500.0, 2.0, 0.0), 0.5);
+  // Rounded to the quantum grid.
+  EXPECT_DOUBLE_EQ(WireAreaCost(0.0005, 450.0, 2.0, 0.05), 0.25);  // 0.225.
+  EXPECT_DOUBLE_EQ(WireAreaCost(0.0005, 450.0, 3.0, 0.05), 0.45);
+  // Monotone in width at fixed length.
+  EXPECT_LE(WireAreaCost(0.0005, 1000.0, 2.0, 0.05),
+            WireAreaCost(0.0005, 1000.0, 3.0, 0.05));
+}
+
+}  // namespace
+}  // namespace msn

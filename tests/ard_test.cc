@@ -1,0 +1,189 @@
+#include "core/ard.h"
+
+#include <gtest/gtest.h>
+
+#include "common/numeric.h"
+#include "common/rng.h"
+#include "elmore/delay.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+using testing::RandomAssignment;
+using testing::SmallRandomNet;
+
+/// Core cross-engine property: the linear-time ARD (Fig. 2) must agree
+/// with k single-source Elmore passes, over random nets, random repeater
+/// assignments, and random driver sizings.
+class ArdEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArdEquivalenceTest, LinearMatchesNaive) {
+  const std::uint64_t seed = GetParam();
+  for (const Technology& tech :
+       {testing::SmallTech(), testing::AsymmetricTech(),
+        testing::TwoRepeaterTech()}) {
+    const RcTree tree = SmallRandomNet(tech, seed, 7, 8000, 700.0);
+    Rng rng(seed * 1000 + 7);
+    const RepeaterAssignment assign = RandomAssignment(tree, tech, rng);
+    const DriverAssignment drivers(tree.NumTerminals());
+
+    const ArdResult fast = ComputeArd(tree, assign, drivers, tech);
+    const ArdResult slow = NaiveArd(tree, assign, drivers, tech);
+    EXPECT_NEAR(fast.ard_ps, slow.ard_ps, 1e-6) << "seed " << seed;
+  }
+}
+
+TEST_P(ArdEquivalenceTest, LinearMatchesNaiveWithSizing) {
+  const std::uint64_t seed = GetParam();
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = SmallRandomNet(tech, seed, 6, 6000, 800.0);
+  Rng rng(seed ^ 0xabcdef);
+  const RepeaterAssignment assign = RandomAssignment(tree, tech, rng, 0.3);
+  const auto lib = DriverSizingLibrary(tech, {1.0, 2.0, 3.0, 4.0});
+  DriverAssignment drivers(tree.NumTerminals());
+  for (std::size_t t = 0; t < tree.NumTerminals(); ++t) {
+    drivers.Choose(t, lib[static_cast<std::size_t>(rng.UniformInt(
+                       0, static_cast<std::int64_t>(lib.size()) - 1))]);
+  }
+  const ArdResult fast = ComputeArd(tree, assign, drivers, tech);
+  const ArdResult slow = NaiveArd(tree, assign, drivers, tech);
+  EXPECT_NEAR(fast.ard_ps, slow.ard_ps, 1e-6);
+}
+
+TEST_P(ArdEquivalenceTest, RootInvariance) {
+  const std::uint64_t seed = GetParam();
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = SmallRandomNet(tech, seed, 5, 5000, 900.0);
+  Rng rng(seed + 99);
+  const RepeaterAssignment assign = RandomAssignment(tree, tech, rng);
+  const DriverAssignment drivers(tree.NumTerminals());
+
+  const double reference =
+      ComputeArd(tree, assign, drivers, tech, /*root=*/0).ard_ps;
+  for (NodeId root = 1; root < tree.NumNodes(); ++root) {
+    EXPECT_NEAR(ComputeArd(tree, assign, drivers, tech, root).ard_ps,
+                reference, 1e-6)
+        << "root " << root;
+  }
+}
+
+TEST_P(ArdEquivalenceTest, CriticalPairIsConsistent) {
+  const std::uint64_t seed = GetParam();
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = SmallRandomNet(tech, seed, 8, 9000, 800.0);
+  Rng rng(seed * 31);
+  const RepeaterAssignment assign = RandomAssignment(tree, tech, rng);
+  const DriverAssignment drivers(tree.NumTerminals());
+
+  const ArdResult ard = ComputeArd(tree, assign, drivers, tech);
+  ASSERT_TRUE(ard.HasPair());
+  // Recompute the reported pair's delay directly.
+  const SourceDelays d = ComputeSourceDelays(tree, ard.critical_source,
+                                             assign, drivers, tech);
+  const double pair_delay =
+      d.arrival[tree.TerminalNode(ard.critical_sink)] +
+      drivers.Resolve(tree, ard.critical_sink).downstream_ps;
+  EXPECT_NEAR(pair_delay, ard.ard_ps, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArdEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(Ard, SourceSinkRolesRespected) {
+  const Technology tech = DefaultTechnology();
+  RcTree tree(tech.wire);
+  TerminalParams source_only = DefaultTerminal(tech);
+  source_only.is_sink = false;
+  TerminalParams sink_only = DefaultTerminal(tech);
+  sink_only.is_source = false;
+  const NodeId a = tree.AddTerminal(source_only, {0, 0});
+  const NodeId b = tree.AddTerminal(sink_only, {1500, 0});
+  tree.AddEdge(a, b, 1500.0);
+
+  const ArdResult ard = ComputeArd(tree, tech);
+  ASSERT_TRUE(ard.HasPair());
+  EXPECT_EQ(ard.critical_source, 0u);
+  EXPECT_EQ(ard.critical_sink, 1u);
+}
+
+TEST(Ard, NoPairYieldsNegInf) {
+  const Technology tech = DefaultTechnology();
+  RcTree tree(tech.wire);
+  TerminalParams source_only = DefaultTerminal(tech);
+  source_only.is_sink = false;
+  const NodeId a = tree.AddTerminal(source_only, {0, 0});
+  const NodeId b = tree.AddTerminal(source_only, {100, 0});
+  tree.AddEdge(a, b, 100.0);
+  const ArdResult ard = ComputeArd(tree, tech);
+  EXPECT_FALSE(ard.HasPair());
+  EXPECT_EQ(ard.ard_ps, -kInf);
+}
+
+TEST(Ard, AugmentationShiftsResult) {
+  const Technology tech = DefaultTechnology();
+  RcTree base(tech.wire);
+  {
+    const NodeId a = base.AddTerminal(DefaultTerminal(tech), {0, 0});
+    const NodeId b = base.AddTerminal(DefaultTerminal(tech), {1000, 0});
+    base.AddEdge(a, b, 1000.0);
+  }
+  RcTree augmented(tech.wire);
+  {
+    TerminalParams t0 = DefaultTerminal(tech);
+    t0.arrival_ps = 100.0;
+    TerminalParams t1 = DefaultTerminal(tech);
+    t1.downstream_ps = 50.0;
+    const NodeId a = augmented.AddTerminal(t0, {0, 0});
+    const NodeId b = augmented.AddTerminal(t1, {1000, 0});
+    augmented.AddEdge(a, b, 1000.0);
+  }
+  const double d0 = ComputeArd(base, tech).ard_ps;
+  const double d1 = ComputeArd(augmented, tech).ard_ps;
+  // The symmetric base has ARD = both directions equal; augmenting t0's
+  // AT by 100 and t1's DD by 50 makes the 0->1 path critical with +150.
+  EXPECT_NEAR(d1, d0 + 150.0, 1e-9);
+}
+
+TEST(Ard, ThreePinStarHandComputed) {
+  // Star with centre s and three identical arms; by symmetry the ARD is
+  // any cross-arm path delay.
+  const Technology tech = DefaultTechnology();
+  RcTree tree(tech.wire);
+  const NodeId s = tree.AddNode(NodeKind::kSteiner, {0, 0});
+  const double arm = 700.0;
+  std::vector<NodeId> leaves;
+  for (int i = 0; i < 3; ++i) {
+    const NodeId t = tree.AddTerminal(
+        DefaultTerminal(tech), {static_cast<std::int64_t>(arm), 0});
+    tree.AddEdge(s, t, arm);
+    leaves.push_back(t);
+  }
+  const ArdResult ard = ComputeArd(tree, tech);
+
+  const EffectiveTerminal eff = ResolveTerminal(DefaultTerminal(tech));
+  const double rw = arm * tech.wire.res_per_um;
+  const double cw = arm * tech.wire.cap_per_um;
+  const double total_cap = 3.0 * (cw + eff.pin_cap);
+  const double expected = eff.arrival_ps + eff.driver_intrinsic_ps +
+                          eff.driver_res * total_cap +
+                          // Up the source arm: beyond it lie 2 arms.
+                          rw * (cw / 2.0 + 2.0 * cw + 2.0 * eff.pin_cap) +
+                          // Down the sink arm.
+                          rw * (cw / 2.0 + eff.pin_cap) +
+                          eff.downstream_ps;
+  EXPECT_NEAR(ard.ard_ps, expected, 1e-9);
+}
+
+TEST(Ard, ConvenienceOverloadMatchesExplicit) {
+  const Technology tech = DefaultTechnology();
+  const RcTree tree = testing::TwoPinLine(tech, 2500.0, 2);
+  EXPECT_DOUBLE_EQ(
+      ComputeArd(tree, tech).ard_ps,
+      ComputeArd(tree, RepeaterAssignment(tree.NumNodes()),
+                 DriverAssignment(tree.NumTerminals()), tech)
+          .ard_ps);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,148 @@
+#include "flow/budget.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "netgen/netgen.h"
+
+namespace msn {
+namespace {
+
+Frontier F(std::initializer_list<CostDelay> pts) { return Frontier(pts); }
+
+TEST(BudgetMinMax, PicksCheapestMeetingBestTarget) {
+  const std::vector<Frontier> nets = {
+      F({{4, 100}, {6, 70}, {8, 50}}),
+      F({{4, 90}, {6, 60}}),
+  };
+  // Budget 12: 6+6 buys delays 70/60 -> worst 70.
+  const auto a = AllocateMinMax(nets, 12.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->worst_delay_ps, 70.0);
+  EXPECT_DOUBLE_EQ(a->total_cost, 12.0);
+
+  // Budget 14: 8+6 buys delays 50/60 -> worst 60 (net 1's floor).
+  const auto b = AllocateMinMax(nets, 14.0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(b->worst_delay_ps, 60.0);
+
+  // More budget cannot help: 60 is net 1's minimum delay.
+  const auto c = AllocateMinMax(nets, 16.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c->worst_delay_ps, 60.0);
+  EXPECT_LE(c->total_cost, 16.0);
+}
+
+TEST(BudgetMinMax, InfeasibleBudget) {
+  const std::vector<Frontier> nets = {F({{4, 100}}), F({{4, 90}})};
+  EXPECT_FALSE(AllocateMinMax(nets, 7.0).has_value());
+  EXPECT_TRUE(AllocateMinMax(nets, 8.0).has_value());
+}
+
+TEST(BudgetMinMax, UnmeetableTargetStopsAtBestAchievable) {
+  const std::vector<Frontier> nets = {F({{4, 100}, {10, 95}}),
+                                      F({{4, 20}})};
+  // Net 0 can never get below 95; with a huge budget worst = 95.
+  const auto a = AllocateMinMax(nets, 1000.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->worst_delay_ps, 95.0);
+}
+
+TEST(BudgetMinSum, MatchesBruteForceOnRandomInstances) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random instance: 3 nets, <= 4 points each, integer costs.
+    std::vector<Frontier> nets;
+    for (int k = 0; k < 3; ++k) {
+      Frontier f;
+      double cost = static_cast<double>(rng.UniformInt(2, 5));
+      double delay = rng.UniformReal(50.0, 200.0);
+      const int pts = static_cast<int>(rng.UniformInt(1, 4));
+      for (int i = 0; i < pts; ++i) {
+        f.push_back({cost, delay});
+        cost += static_cast<double>(rng.UniformInt(1, 3));
+        delay -= rng.UniformReal(1.0, 40.0);
+      }
+      nets.push_back(std::move(f));
+    }
+    const double budget = static_cast<double>(rng.UniformInt(6, 25));
+
+    const auto dp = AllocateMinSum(nets, budget);
+
+    // Brute force over all choice tuples.
+    double best = -1.0;
+    for (std::size_t i = 0; i < nets[0].size(); ++i) {
+      for (std::size_t j = 0; j < nets[1].size(); ++j) {
+        for (std::size_t k = 0; k < nets[2].size(); ++k) {
+          const double cost = nets[0][i].cost + nets[1][j].cost +
+                              nets[2][k].cost;
+          if (cost > budget + 1e-9) continue;
+          const double sum = nets[0][i].delay_ps + nets[1][j].delay_ps +
+                             nets[2][k].delay_ps;
+          if (best < 0.0 || sum < best) best = sum;
+        }
+      }
+    }
+    if (best < 0.0) {
+      EXPECT_FALSE(dp.has_value()) << "trial " << trial;
+    } else {
+      ASSERT_TRUE(dp.has_value()) << "trial " << trial;
+      EXPECT_NEAR(dp->sum_delay_ps, best, 1e-9) << "trial " << trial;
+      EXPECT_LE(dp->total_cost, budget + 1e-9);
+    }
+  }
+}
+
+TEST(BudgetMinSum, RejectsOffGridCosts) {
+  const std::vector<Frontier> nets = {F({{4.37, 100}})};
+  EXPECT_THROW(AllocateMinSum(nets, 10.0, 1.0), CheckError);
+  // The same cost is fine on a 0.01 grid.
+  EXPECT_TRUE(AllocateMinSum(nets, 10.0, 0.01).has_value());
+}
+
+TEST(Budget, ValidatesFrontiers) {
+  EXPECT_THROW(AllocateMinMax({}, 10.0), CheckError);
+  EXPECT_THROW(AllocateMinMax({Frontier{}}, 10.0), CheckError);
+  // Non-monotone frontier.
+  EXPECT_THROW(AllocateMinMax({F({{4, 100}, {6, 100}})}, 10.0), CheckError);
+}
+
+TEST(Budget, EndToEndWithRealNets) {
+  const Technology tech = DefaultTechnology();
+  std::vector<MsriResult> results;
+  std::vector<Frontier> frontiers;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    NetConfig cfg;
+    cfg.seed = seed;
+    cfg.num_terminals = 6;
+    const RcTree tree = BuildExperimentNet(cfg, tech);
+    results.push_back(RunMsri(tree, tech));
+    frontiers.push_back(FrontierOf(results.back()));
+  }
+  const double min_cost = frontiers[0].front().cost +
+                          frontiers[1].front().cost +
+                          frontiers[2].front().cost;
+
+  // Min-max improves monotonically with budget.
+  double prev = kInf;
+  for (double extra : {0.0, 4.0, 8.0, 16.0, 64.0}) {
+    const auto a = AllocateMinMax(frontiers, min_cost + extra);
+    ASSERT_TRUE(a.has_value()) << "extra " << extra;
+    EXPECT_LE(a->worst_delay_ps, prev + 1e-9);
+    EXPECT_LE(a->total_cost, min_cost + extra + 1e-9);
+    prev = a->worst_delay_ps;
+  }
+
+  // Min-sum never exceeds min-max's sum at the same budget (it optimizes
+  // the sum), and vice versa for the worst delay.
+  const double budget = min_cost + 12.0;
+  const auto mm = AllocateMinMax(frontiers, budget);
+  const auto ms = AllocateMinSum(frontiers, budget);
+  ASSERT_TRUE(mm && ms);
+  EXPECT_LE(ms->sum_delay_ps, mm->sum_delay_ps + 1e-9);
+  EXPECT_LE(mm->worst_delay_ps, ms->worst_delay_ps + 1e-9);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,72 @@
+# End-to-end test of the msn_cli binary: gen -> optimize -> ard -> render
+# round-trip in a scratch directory.  Invoked by CTest with -DCLI=<path>.
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<path to msn_cli>")
+endif()
+
+set(WORK ${CMAKE_CURRENT_BINARY_DIR}/cli_scratch)
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+function(run_cli expect_rc out_var)
+  execute_process(
+    COMMAND ${CLI} ${ARGN}
+    WORKING_DIRECTORY ${WORK}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "msn_cli ${ARGN} exited ${rc} (wanted"
+                        " ${expect_rc}): ${out} ${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# Generate a net.
+run_cli(0 out gen --terminals 6 --seed 5 -o net.msn)
+if(NOT out MATCHES "6 terminals")
+  message(FATAL_ERROR "gen output missing terminal count: ${out}")
+endif()
+if(NOT EXISTS ${WORK}/net.msn)
+  message(FATAL_ERROR "gen did not write net.msn")
+endif()
+
+# Base diameter report.
+run_cli(0 out ard net.msn)
+if(NOT out MATCHES "ARD: ")
+  message(FATAL_ERROR "ard output malformed: ${out}")
+endif()
+
+# Optimize with an achievable spec and persist the solution.
+run_cli(0 out optimize net.msn --spec 950 -o sol.msn)
+if(NOT out MATCHES "repeaters placed")
+  message(FATAL_ERROR "optimize output missing solution: ${out}")
+endif()
+if(NOT EXISTS ${WORK}/sol.msn)
+  message(FATAL_ERROR "optimize did not write sol.msn")
+endif()
+
+# Re-evaluating the saved solution must beat the spec.
+run_cli(0 out ard net.msn sol.msn)
+string(REGEX MATCH "ARD: ([0-9.]+)" _ "${out}")
+if(NOT CMAKE_MATCH_1)
+  message(FATAL_ERROR "could not parse ARD from: ${out}")
+endif()
+if(CMAKE_MATCH_1 GREATER 950)
+  message(FATAL_ERROR "saved solution misses the spec: ${CMAKE_MATCH_1}")
+endif()
+
+# Render with repeater markers.
+run_cli(0 out render net.msn sol.msn)
+if(NOT out MATCHES "#")
+  message(FATAL_ERROR "render shows no repeater markers: ${out}")
+endif()
+
+# An unachievable spec reports failure with exit code 1.
+run_cli(1 out optimize net.msn --spec 1)
+
+# Unknown subcommands and missing files fail cleanly.
+run_cli(2 out bogus)
+run_cli(1 out ard missing.msn)
+
+message(STATUS "msn_cli end-to-end test passed")

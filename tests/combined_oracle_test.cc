@@ -1,0 +1,109 @@
+// The heaviest optimality oracle: every feature at once — mixed
+// buffer/inverter repeater library with asymmetric entries, terminal
+// driver sizing, and per-segment wire sizing — against exhaustive
+// enumeration on tiny nets.  If the DP's five-dimensional characterization
+// or any pruning rule were subtly wrong, the interactions here would
+// expose it.
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.h"
+#include "core/ard.h"
+#include "core/msri.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+Technology KitchenSinkTech() {
+  Technology tech = DefaultTechnology();
+  Repeater asym = Repeater::FromBufferPair(DefaultBuffer1X());
+  asym.name = "asym";
+  asym.intrinsic_ab = 25.0;
+  asym.res_ab = 140.0;
+  asym.intrinsic_ba = 45.0;
+  asym.res_ba = 220.0;
+  asym.cap_a = 0.04;
+  asym.cap_b = 0.07;
+  tech.repeaters = {
+      asym,
+      Repeater::FromInverterPair(DefaultInverter1X()),
+  };
+  return tech;
+}
+
+class CombinedOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CombinedOracle, EverythingAtOnceMatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const Technology tech = KitchenSinkTech();
+  const RcTree tree =
+      testing::SmallRandomNet(tech, seed, 3, 2500, 3000.0);
+  // Keep the exhaustive space sane: <= 3 insertion points (5 choices
+  // each: none, asym-2-orientations, inverter), <= 6 edges (2 widths),
+  // 2 driver options per terminal.
+  if (tree.InsertionPoints().size() > 3 || tree.NumEdges() > 6) {
+    GTEST_SKIP();
+  }
+  const auto lib = DriverSizingLibrary(tech, {1.0, 3.0});
+  const std::vector<TerminalOption> two_options{lib[0], lib[3]};
+
+  MsriOptions opt;
+  opt.size_drivers = true;
+  opt.sizing_library = two_options;
+  opt.size_wires = true;
+  opt.wire_width_choices = {1.0, 2.0};
+  opt.wire_area_cost_per_um = 0.0005;
+  const MsriResult dp = RunMsri(tree, tech, opt);
+
+  BruteForceOptions bopt;
+  bopt.size_drivers = true;
+  bopt.sizing_library = two_options;
+  bopt.size_wires = true;
+  const BruteForceResult brute = BruteForceMsri(tree, tech, bopt);
+
+  ASSERT_EQ(dp.Pareto().size(), brute.pareto.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < dp.Pareto().size(); ++i) {
+    EXPECT_NEAR(dp.Pareto()[i].cost, brute.pareto[i].cost, 1e-9)
+        << "point " << i;
+    EXPECT_NEAR(dp.Pareto()[i].ard_ps, brute.pareto[i].ard_ps, 1e-6)
+        << "point " << i;
+  }
+
+  // Every DP point must verify end-to-end on the physically scaled tree.
+  for (const TradeoffPoint& p : dp.Pareto()) {
+    EXPECT_TRUE(ParityFeasible(tree, p.repeaters, tech));
+    const RcTree scaled = tree.WithWireWidths(p.wire_widths);
+    EXPECT_NEAR(ComputeArd(scaled, p.repeaters, p.drivers, tech).ard_ps,
+                p.ard_ps, 1e-6);
+  }
+}
+
+TEST_P(CombinedOracle, RootInvarianceWithAllFeatures) {
+  const std::uint64_t seed = GetParam();
+  const Technology tech = KitchenSinkTech();
+  const RcTree tree =
+      testing::SmallRandomNet(tech, seed, 4, 3000, 2000.0);
+  const auto lib = DriverSizingLibrary(tech, {1.0, 2.0});
+
+  MsriOptions opt;
+  opt.size_drivers = true;
+  opt.sizing_library = {lib[0], lib[3]};
+  opt.size_wires = true;
+  opt.wire_width_choices = {1.0, 2.0};
+
+  opt.root = tree.TerminalNode(0);
+  const MsriResult a = RunMsri(tree, tech, opt);
+  opt.root = tree.TerminalNode(tree.NumTerminals() - 1);
+  const MsriResult b = RunMsri(tree, tech, opt);
+  ASSERT_EQ(a.Pareto().size(), b.Pareto().size()) << "seed " << seed;
+  for (std::size_t i = 0; i < a.Pareto().size(); ++i) {
+    EXPECT_NEAR(a.Pareto()[i].cost, b.Pareto()[i].cost, 1e-9);
+    EXPECT_NEAR(a.Pareto()[i].ard_ps, b.Pareto()[i].ard_ps, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombinedOracle,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,258 @@
+#include "elmore/delay.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "elmore/caps.h"
+#include "rctree/rooted.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+using testing::SmallRandomNet;
+using testing::TwoPinLine;
+
+/// Hand-computed Elmore delay on a bare two-pin net.
+TEST(Elmore, TwoPinHandComputed) {
+  const Technology tech = DefaultTechnology();
+  RcTree tree(tech.wire);
+  const TerminalParams tp = DefaultTerminal(tech);
+  const NodeId a = tree.AddTerminal(tp, {0, 0});
+  const NodeId b = tree.AddTerminal(tp, {1000, 0});
+  tree.AddEdge(a, b, 1000.0);
+
+  const RepeaterAssignment none(tree.NumNodes());
+  const DriverAssignment drivers(tree.NumTerminals());
+  const SourceDelays d = ComputeSourceDelays(tree, 0, none, drivers, tech);
+
+  const EffectiveTerminal eff = ResolveTerminal(tp);
+  const double rw = 1000.0 * tech.wire.res_per_um;
+  const double cw = 1000.0 * tech.wire.cap_per_um;
+  const double expected_arrival =
+      eff.arrival_ps + eff.driver_intrinsic_ps +
+      eff.driver_res * (eff.pin_cap + cw + eff.pin_cap) +  // Driver load.
+      rw * (cw / 2.0 + eff.pin_cap);                       // Wire.
+  EXPECT_NEAR(d.arrival[b], expected_arrival, 1e-9);
+
+  const ArdResult radius = SourceRadius(tree, d, drivers);
+  EXPECT_NEAR(radius.ard_ps, expected_arrival + eff.downstream_ps, 1e-9);
+  EXPECT_EQ(radius.critical_source, 0u);
+  EXPECT_EQ(radius.critical_sink, 1u);
+}
+
+/// Hand-computed delay through one repeater, checking decoupling.
+TEST(Elmore, TwoPinThroughRepeaterHandComputed) {
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = TwoPinLine(tech, 1000.0, 1);
+  const NodeId ip = tree.InsertionPoints()[0];
+  const NodeId t0 = tree.TerminalNode(0);
+  const NodeId t1 = tree.TerminalNode(1);
+
+  RepeaterAssignment assign(tree.NumNodes());
+  assign.Place(ip, PlacedRepeater{0, t0});  // A-side toward terminal 0.
+  const DriverAssignment drivers(tree.NumTerminals());
+  const SourceDelays d = ComputeSourceDelays(tree, 0, assign, drivers, tech);
+
+  const Repeater& r = tech.repeaters[0];
+  const EffectiveTerminal eff = ResolveTerminal(DefaultTerminal(tech));
+  const double rw = 500.0 * tech.wire.res_per_um;
+  const double cw = 500.0 * tech.wire.cap_per_um;
+
+  const double at_ip = eff.arrival_ps + eff.driver_intrinsic_ps +
+                       eff.driver_res * (eff.pin_cap + cw + r.cap_a) +
+                       rw * (cw / 2.0 + r.cap_a);
+  EXPECT_NEAR(d.arrival[ip], at_ip, 1e-9);
+
+  const double at_t1 = at_ip + r.intrinsic_ab +
+                       r.res_ab * (cw + eff.pin_cap) +
+                       rw * (cw / 2.0 + eff.pin_cap);
+  EXPECT_NEAR(d.arrival[t1], at_t1, 1e-9);
+}
+
+/// The repeater decouples: downstream changes must not affect the
+/// upstream side of the buffer.
+TEST(Elmore, RepeaterDecouplesDownstreamCap) {
+  const Technology tech = testing::SmallTech();
+  std::vector<double> arrivals_at_ip;
+  for (const double tail : {500.0, 4000.0}) {
+    RcTree tree(tech.wire);
+    const TerminalParams tp = DefaultTerminal(tech);
+    const NodeId a = tree.AddTerminal(tp, {0, 0});
+    const NodeId ip = tree.AddNode(NodeKind::kInsertion, {500, 0});
+    const NodeId b = tree.AddTerminal(
+        tp, {500 + static_cast<std::int64_t>(tail), 0});
+    tree.AddEdge(a, ip, 500.0);
+    tree.AddEdge(ip, b, tail);
+
+    RepeaterAssignment assign(tree.NumNodes());
+    assign.Place(ip, PlacedRepeater{0, a});
+    const DriverAssignment drivers(tree.NumTerminals());
+    const SourceDelays d =
+        ComputeSourceDelays(tree, 0, assign, drivers, tech);
+    arrivals_at_ip.push_back(d.arrival[ip]);
+  }
+  // Arrival at the repeater input is independent of the tail length.
+  ASSERT_EQ(arrivals_at_ip.size(), 2u);
+  EXPECT_NEAR(arrivals_at_ip[0], arrivals_at_ip[1], 1e-9);
+}
+
+TEST(ElmoreCaps, TotalCapInvariantWithoutRepeaters) {
+  const Technology tech = DefaultTechnology();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const RcTree tree = SmallRandomNet(tech, seed, 6, 5000, 900.0);
+    const RepeaterAssignment none(tree.NumNodes());
+    const DriverAssignment drivers(tree.NumTerminals());
+
+    double total = 0.0;
+    for (const RcEdge& e : tree.Edges()) total += e.cap;
+    for (std::size_t t = 0; t < tree.NumTerminals(); ++t) {
+      total += drivers.Resolve(tree, t).pin_cap;
+    }
+
+    const RootedTree rooted(tree, tree.TerminalNode(0));
+    const CapAnalysis caps = ComputeCaps(rooted, none, drivers, tech);
+    // At every node: everything below + the parent edge + everything
+    // above equals the net's total capacitance.
+    for (const NodeId v : rooted.Preorder()) {
+      const double up = rooted.Parent(v) == kNoNode
+                            ? 0.0
+                            : rooted.ParentCap(v) + caps.cup[v];
+      EXPECT_NEAR(caps.down_load[v] + up, total, 1e-9)
+          << "seed " << seed << " node " << v;
+    }
+  }
+}
+
+TEST(ElmoreCaps, CdownAtBufferIsFacingCap) {
+  const Technology tech = testing::AsymmetricTech();
+  const RcTree tree = TwoPinLine(tech, 1200.0, 1);
+  const NodeId ip = tree.InsertionPoints()[0];
+  const NodeId t0 = tree.TerminalNode(0);
+  const NodeId t1 = tree.TerminalNode(1);
+  RepeaterAssignment assign(tree.NumNodes());
+  assign.Place(ip, PlacedRepeater{0, t0});
+
+  const RootedTree rooted(tree, t0);
+  const CapAnalysis caps = ComputeCaps(
+      rooted, assign, DriverAssignment(tree.NumTerminals()), tech);
+  // Seen from the root side (t0), the insertion point presents cap_a.
+  EXPECT_DOUBLE_EQ(caps.cdown[ip], tech.repeaters[0].cap_a);
+  // Seen from below (t1 looking up), it presents cap_b.
+  EXPECT_DOUBLE_EQ(caps.cup[t1], tech.repeaters[0].cap_b);
+}
+
+TEST(ElmoreCaps, CupAtRootChildSeesRootPin) {
+  const Technology tech = DefaultTechnology();
+  const RcTree tree = TwoPinLine(tech, 1000.0, 1);
+  const RootedTree rooted(tree, tree.TerminalNode(0));
+  const CapAnalysis caps = ComputeCaps(
+      rooted, RepeaterAssignment(tree.NumNodes()),
+      DriverAssignment(tree.NumTerminals()), tech);
+  const NodeId ip = tree.InsertionPoints()[0];
+  const EffectiveTerminal eff = ResolveTerminal(DefaultTerminal(tech));
+  EXPECT_DOUBLE_EQ(caps.cup[ip], eff.pin_cap);
+}
+
+TEST(Elmore, NonSourceTerminalRejected) {
+  const Technology tech = DefaultTechnology();
+  RcTree tree(tech.wire);
+  TerminalParams sink_only = DefaultTerminal(tech);
+  sink_only.is_source = false;
+  const NodeId a = tree.AddTerminal(sink_only, {0, 0});
+  const NodeId b = tree.AddTerminal(DefaultTerminal(tech), {100, 0});
+  tree.AddEdge(a, b, 100.0);
+  EXPECT_THROW(ComputeSourceDelays(tree, 0,
+                                   RepeaterAssignment(tree.NumNodes()),
+                                   DriverAssignment(tree.NumTerminals()),
+                                   tech),
+               CheckError);
+}
+
+TEST(Elmore, NaiveArdPicksWorstPair) {
+  // Asymmetric arrival times: terminal 1 has a huge AT, so the critical
+  // source must be terminal 1 regardless of geometry.
+  const Technology tech = DefaultTechnology();
+  RcTree tree(tech.wire);
+  TerminalParams slow = DefaultTerminal(tech);
+  slow.arrival_ps = 10'000.0;
+  const NodeId a = tree.AddTerminal(DefaultTerminal(tech), {0, 0});
+  const NodeId b = tree.AddTerminal(slow, {2000, 0});
+  tree.AddEdge(a, b, 2000.0);
+  const ArdResult ard =
+      NaiveArd(tree, RepeaterAssignment(tree.NumNodes()),
+               DriverAssignment(tree.NumTerminals()), tech);
+  EXPECT_EQ(ard.critical_source, 1u);
+  EXPECT_EQ(ard.critical_sink, 0u);
+  EXPECT_GT(ard.ard_ps, 10'000.0);
+}
+
+TEST(Elmore, DriverSizingChangesDelays) {
+  // The net must be long enough that the 4x driver's resistance saving
+  // (135 Ohm x ~1.2 pF) beats its extra prev-stage loading (+60 ps).
+  const Technology tech = DefaultTechnology();
+  const RcTree tree = TwoPinLine(tech, 9000.0, 2);
+  const RepeaterAssignment none(tree.NumNodes());
+  DriverAssignment big(tree.NumTerminals());
+  // 4x driver, 1x receiver at both ends: both directions improve (a fat
+  // receiver would instead load the wire and hurt the opposite path).
+  const auto lib = DriverSizingLibrary(tech, {1.0, 4.0});
+  big.Choose(0, lib[2]);
+  big.Choose(1, lib[2]);
+  const double base =
+      NaiveArd(tree, none, DriverAssignment(tree.NumTerminals()), tech)
+          .ard_ps;
+  const double sized = NaiveArd(tree, none, big, tech).ard_ps;
+  EXPECT_LT(sized, base);
+}
+
+TEST(CriticalPath, TraceMatchesArd) {
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = SmallRandomNet(tech, 7, 8, 9000, 800.0);
+  Rng rng(71);
+  const RepeaterAssignment assign =
+      testing::RandomAssignment(tree, tech, rng);
+  const DriverAssignment drivers(tree.NumTerminals());
+
+  const ArdResult ard = NaiveArd(tree, assign, drivers, tech);
+  ASSERT_TRUE(ard.HasPair());
+  const CriticalPath path =
+      TraceCriticalPath(tree, ard, assign, drivers, tech);
+
+  EXPECT_EQ(path.source_terminal, ard.critical_source);
+  EXPECT_EQ(path.sink_terminal, ard.critical_sink);
+  EXPECT_NEAR(path.total_ps, ard.ard_ps, 1e-9);
+  ASSERT_GE(path.nodes.size(), 2u);
+  EXPECT_EQ(path.nodes.front(),
+            tree.TerminalNode(ard.critical_source));
+  EXPECT_EQ(path.nodes.back(), tree.TerminalNode(ard.critical_sink));
+  // Arrivals increase monotonically along the path (all delays positive).
+  for (std::size_t i = 1; i < path.arrival_ps.size(); ++i) {
+    EXPECT_GE(path.arrival_ps[i], path.arrival_ps[i - 1] - 1e-9);
+  }
+  // Consecutive path nodes share an edge.
+  for (std::size_t i = 1; i < path.nodes.size(); ++i) {
+    bool adjacent = false;
+    for (const std::size_t ei : tree.AdjacentEdges(path.nodes[i])) {
+      const RcEdge& e = tree.Edge(ei);
+      const NodeId other = e.a == path.nodes[i] ? e.b : e.a;
+      if (other == path.nodes[i - 1]) adjacent = true;
+    }
+    EXPECT_TRUE(adjacent) << "gap at position " << i;
+  }
+}
+
+TEST(CriticalPath, RejectsEmptyPair) {
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = testing::TwoPinLine(tech, 1000.0, 1);
+  ArdResult empty;
+  EXPECT_THROW(TraceCriticalPath(tree, empty,
+                                 RepeaterAssignment(tree.NumNodes()),
+                                 DriverAssignment(tree.NumTerminals()),
+                                 tech),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/hanan.h"
+#include "geom/point.h"
+
+namespace msn {
+namespace {
+
+TEST(Point, ManhattanDistanceBasics) {
+  EXPECT_EQ(ManhattanDistance({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(ManhattanDistance({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(ManhattanDistance({-2, -3}, {2, 3}), 10);
+  EXPECT_EQ(ManhattanDistance({5, 1}, {1, 5}), 8);
+}
+
+TEST(Point, ManhattanSymmetryAndTriangle) {
+  const Point a{12, 7}, b{-3, 44}, c{100, -5};
+  EXPECT_EQ(ManhattanDistance(a, b), ManhattanDistance(b, a));
+  EXPECT_LE(ManhattanDistance(a, c),
+            ManhattanDistance(a, b) + ManhattanDistance(b, c));
+}
+
+TEST(Point, LexicographicOrder) {
+  EXPECT_LT((Point{1, 5}), (Point{2, 0}));
+  EXPECT_LT((Point{1, 5}), (Point{1, 6}));
+  EXPECT_EQ((Point{3, 3}), (Point{3, 3}));
+}
+
+TEST(BoundingBox, OfPointRange) {
+  const std::vector<Point> pts{{3, 7}, {-1, 2}, {5, 0}};
+  const BoundingBox box = ComputeBoundingBox(pts);
+  EXPECT_EQ(box.lo, (Point{-1, 0}));
+  EXPECT_EQ(box.hi, (Point{5, 7}));
+  EXPECT_EQ(box.HalfPerimeter(), 6 + 7);
+  EXPECT_TRUE(box.Contains({0, 3}));
+  EXPECT_FALSE(box.Contains({6, 3}));
+}
+
+TEST(Hanan, GridOfTwoPoints) {
+  const std::vector<Point> t{{0, 0}, {2, 3}};
+  const std::vector<Point> grid = HananGrid(t);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  EXPECT_NE(std::find(grid.begin(), grid.end(), Point{0, 3}), grid.end());
+  EXPECT_NE(std::find(grid.begin(), grid.end(), Point{2, 0}), grid.end());
+}
+
+TEST(Hanan, CandidatesExcludeTerminals) {
+  const std::vector<Point> t{{0, 0}, {2, 3}, {5, 1}};
+  const std::vector<Point> cands = HananCandidates(t);
+  for (const Point& p : t) {
+    EXPECT_EQ(std::find(cands.begin(), cands.end(), p), cands.end());
+  }
+  // 3x3 grid minus 3 terminals.
+  EXPECT_EQ(cands.size(), 9u - 3u);
+}
+
+TEST(Hanan, CollinearPointsProduceNoCandidates) {
+  const std::vector<Point> t{{0, 0}, {0, 5}, {0, 9}};
+  EXPECT_TRUE(HananCandidates(t).empty());
+}
+
+TEST(Hanan, DuplicateCoordinatesDeduplicated) {
+  const std::vector<Point> t{{1, 1}, {1, 4}, {3, 1}, {3, 4}};
+  // All grid points are terminals: no candidates.
+  EXPECT_TRUE(HananCandidates(t).empty());
+  EXPECT_EQ(HananGrid(t).size(), 4u);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,74 @@
+#include "baseline/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/ard.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+using testing::SmallRandomNet;
+using testing::SmallTech;
+using testing::TwoPinLine;
+
+TEST(Greedy, TrajectoryIsStrictlyImproving) {
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 15'000.0, 10);
+  const GreedyResult g = GreedyMsri(tree, tech);
+  ASSERT_GE(g.ard_trajectory_ps.size(), 2u);
+  for (std::size_t i = 1; i < g.ard_trajectory_ps.size(); ++i) {
+    EXPECT_LT(g.ard_trajectory_ps[i], g.ard_trajectory_ps[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(g.ard_trajectory_ps.back(), g.best.ard_ps);
+  EXPECT_GT(g.moves_evaluated, 0u);
+}
+
+TEST(Greedy, FinalStateVerifiesAgainstArdEngine) {
+  const Technology tech = SmallTech();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const RcTree tree = SmallRandomNet(tech, seed, 6, 8000, 800.0);
+    const GreedyResult g = GreedyMsri(tree, tech);
+    const double check =
+        ComputeArd(tree, g.best.repeaters,
+                   DriverAssignment(tree.NumTerminals()), tech)
+            .ard_ps;
+    EXPECT_NEAR(check, g.best.ard_ps, 1e-9) << "seed " << seed;
+    EXPECT_EQ(g.best.num_repeaters, g.best.repeaters.CountPlaced());
+  }
+}
+
+TEST(Greedy, NeverBeatsTheOptimalDp) {
+  const Technology tech = SmallTech();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const RcTree tree = SmallRandomNet(tech, seed, 6, 8000, 800.0);
+    const GreedyResult g = GreedyMsri(tree, tech);
+    const MsriResult dp = RunMsri(tree, tech);
+    EXPECT_GE(g.best.ard_ps, dp.MinArd()->ard_ps - 1e-6)
+        << "seed " << seed << ": a heuristic cannot beat the optimum";
+    // And the DP can match the greedy diameter at most at greedy's cost.
+    const TradeoffPoint* match = dp.MinCostFeasible(g.best.ard_ps + 1e-9);
+    ASSERT_NE(match, nullptr);
+    EXPECT_LE(match->cost, g.best.cost + 1e-9);
+  }
+}
+
+TEST(Greedy, RespectsParityWithInverters) {
+  Technology tech = DefaultTechnology();
+  tech.repeaters = {Repeater::FromInverterPair(DefaultInverter1X())};
+  const RcTree tree = TwoPinLine(tech, 12'000.0, 8);
+  const GreedyResult g = GreedyMsri(tree, tech);
+  EXPECT_TRUE(ParityFeasible(tree, g.best.repeaters, tech));
+  EXPECT_EQ(g.best.num_repeaters % 2, 0u);
+}
+
+TEST(Greedy, EmptyLibraryRejected) {
+  Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 1000.0, 1);
+  tech.repeaters.clear();
+  EXPECT_THROW(GreedyMsri(tree, tech), CheckError);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,101 @@
+// End-to-end pipeline tests at the paper's experimental scale.
+#include <gtest/gtest.h>
+
+#include "core/ard.h"
+#include "core/msri.h"
+#include "netgen/netgen.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+class PipelineTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineTest, TenPinExperimentRoundTrips) {
+  const Technology tech = DefaultTechnology();
+  NetConfig cfg;
+  cfg.seed = GetParam();
+  cfg.num_terminals = 10;
+  const RcTree tree = BuildExperimentNet(cfg, tech);
+
+  const MsriResult repeaters = RunMsri(tree, tech);
+  ASSERT_FALSE(repeaters.Pareto().empty());
+
+  MsriOptions sizing;
+  sizing.insert_repeaters = false;
+  sizing.size_drivers = true;
+  sizing.sizing_library = DriverSizingLibrary(tech, {1.0, 2.0, 3.0, 4.0});
+  const MsriResult sized = RunMsri(tree, tech, sizing);
+  ASSERT_FALSE(sized.Pareto().empty());
+
+  const double base = ComputeArd(tree, tech).ard_ps;
+  // The no-repeater / 1x-1x point is on both frontiers.
+  EXPECT_NEAR(repeaters.MinCost()->ard_ps, base, 1e-6);
+  EXPECT_NEAR(sized.MinCost()->ard_ps, base, 1e-6);
+  EXPECT_NEAR(repeaters.MinCost()->cost,
+              2.0 * static_cast<double>(tree.NumTerminals()), 1e-9);
+
+  // Both techniques can only improve on the base diameter.
+  EXPECT_LE(repeaters.MinArd()->ard_ps, base + 1e-9);
+  EXPECT_LE(sized.MinArd()->ard_ps, base + 1e-9);
+
+  // Spot-verify three points per frontier against the ARD engine.
+  auto verify = [&](const MsriResult& r) {
+    const auto& p = r.Pareto();
+    for (std::size_t i : {std::size_t{0}, p.size() / 2, p.size() - 1}) {
+      const ArdResult check =
+          ComputeArd(tree, p[i].repeaters, p[i].drivers, tech);
+      EXPECT_NEAR(check.ard_ps, p[i].ard_ps, 1e-6);
+    }
+  };
+  verify(repeaters);
+  verify(sized);
+}
+
+TEST_P(PipelineTest, MinCostSubjectToSizingDiameter) {
+  // The paper's Table II column 5 workflow: use the best driver-sizing
+  // diameter as the spec for min-cost repeater insertion.
+  const Technology tech = DefaultTechnology();
+  NetConfig cfg;
+  cfg.seed = GetParam() + 100;
+  cfg.num_terminals = 10;
+  const RcTree tree = BuildExperimentNet(cfg, tech);
+
+  MsriOptions sizing;
+  sizing.insert_repeaters = false;
+  sizing.size_drivers = true;
+  sizing.sizing_library = DriverSizingLibrary(tech, {1.0, 2.0, 3.0, 4.0});
+  const double sizing_diam =
+      RunMsri(tree, tech, sizing).MinArd()->ard_ps;
+
+  const MsriResult repeaters = RunMsri(tree, tech);
+  const TradeoffPoint* p = repeaters.MinCostFeasible(sizing_diam);
+  // On cm-scale nets repeater insertion reaches (and beats) any
+  // sizing-achievable diameter; if a pathological seed disproved that,
+  // the sizing optimum would have to beat even the best repeater point.
+  if (p == nullptr) {
+    EXPECT_LT(sizing_diam, repeaters.MinArd()->ard_ps);
+    return;
+  }
+  EXPECT_LE(p->ard_ps, sizing_diam + 1e-9);
+  EXPECT_LE(p->cost, repeaters.MinArd()->cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineTest,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+TEST(Pipeline, StatsArePopulated) {
+  const Technology tech = DefaultTechnology();
+  NetConfig cfg;
+  cfg.seed = 12;
+  cfg.num_terminals = 10;
+  const RcTree tree = BuildExperimentNet(cfg, tech);
+  const MsriResult r = RunMsri(tree, tech);
+  EXPECT_GT(r.Stats().solutions_generated, 0u);
+  EXPECT_GT(r.Stats().max_set_size, 0u);
+  EXPECT_GT(r.Stats().max_pwl_segments, 0u);
+  EXPECT_GT(r.Stats().mfs.comparisons, 0u);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,201 @@
+// Tests for the inverting-repeater extension (paper Section V: "An
+// extension allowing the use of inverters as repeaters is possible and
+// straightforward").  Feasibility requires every source-to-sink path to
+// cross an even number of inverting repeaters; the DP tracks a parity bit
+// per subsolution.
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.h"
+#include "baseline/van_ginneken.h"
+#include "core/ard.h"
+#include "core/msri.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+Technology InverterTech() {
+  Technology tech = DefaultTechnology();
+  tech.repeaters = {Repeater::FromInverterPair(DefaultInverter1X())};
+  return tech;
+}
+
+Technology MixedTech() {
+  Technology tech = DefaultTechnology();
+  tech.repeaters = {
+      Repeater::FromBufferPair(DefaultBuffer1X()),
+      Repeater::FromInverterPair(DefaultInverter1X()),
+  };
+  return tech;
+}
+
+TEST(Inverter, FactorySetsFlagAndHalvedCost) {
+  const Repeater inv = Repeater::FromInverterPair(DefaultInverter1X());
+  EXPECT_TRUE(inv.inverting);
+  EXPECT_LT(inv.cost, Repeater::FromBufferPair(DefaultBuffer1X()).cost);
+  EXPECT_FALSE(Repeater::FromBufferPair(DefaultBuffer1X()).inverting);
+}
+
+TEST(Inverter, ParityFeasibleBasics) {
+  const Technology tech = InverterTech();
+  const RcTree tree = testing::TwoPinLine(tech, 3000.0, 3);
+  RepeaterAssignment assign(tree.NumNodes());
+  EXPECT_TRUE(ParityFeasible(tree, assign, tech));
+
+  const auto& ips = tree.InsertionPoints();
+  auto neighbor = [&](NodeId ip) {
+    const RcEdge& e = tree.Edge(tree.AdjacentEdges(ip)[0]);
+    return e.a == ip ? e.b : e.a;
+  };
+  assign.Place(ips[0], PlacedRepeater{0, neighbor(ips[0])});
+  EXPECT_FALSE(ParityFeasible(tree, assign, tech))
+      << "one inverter on the only path is infeasible";
+  assign.Place(ips[1], PlacedRepeater{0, neighbor(ips[1])});
+  EXPECT_TRUE(ParityFeasible(tree, assign, tech))
+      << "two inverters restore polarity";
+}
+
+TEST(Inverter, ParityFeasibleBranch) {
+  // Star: inverter on ONE arm breaks pairs across arms; inverters on all
+  // three arms make every cross-arm path even?  No: paths cross two arms,
+  // so one inverter per arm gives parity 1+1 = even.  Check both cases.
+  const Technology tech = InverterTech();
+  RcTree tree(tech.wire);
+  const NodeId s = tree.AddNode(NodeKind::kSteiner, {0, 0});
+  std::vector<NodeId> ips;
+  for (int i = 0; i < 3; ++i) {
+    const NodeId t = tree.AddTerminal(DefaultTerminal(tech), {1000, 0});
+    const NodeId ip = tree.AddNode(NodeKind::kInsertion, {500, 0});
+    tree.AddEdge(s, ip, 500.0);
+    tree.AddEdge(ip, t, 500.0);
+    ips.push_back(ip);
+  }
+  tree.Validate();
+
+  RepeaterAssignment assign(tree.NumNodes());
+  assign.Place(ips[0], PlacedRepeater{0, s});
+  EXPECT_FALSE(ParityFeasible(tree, assign, tech));
+  assign.Place(ips[1], PlacedRepeater{0, s});
+  EXPECT_FALSE(ParityFeasible(tree, assign, tech))
+      << "arm 2's terminal still differs from arms 0/1";
+  assign.Place(ips[2], PlacedRepeater{0, s});
+  EXPECT_TRUE(ParityFeasible(tree, assign, tech))
+      << "every cross-arm path now crosses exactly two inverters";
+}
+
+TEST(Inverter, MsriPlacesInvertersInPairsOnTwoPinNet) {
+  const Technology tech = InverterTech();
+  const RcTree tree = testing::TwoPinLine(tech, 12'000.0, 8);
+  const MsriResult result = RunMsri(tree, tech);
+  ASSERT_GE(result.Pareto().size(), 2u);
+  for (const TradeoffPoint& p : result.Pareto()) {
+    EXPECT_EQ(p.num_repeaters % 2, 0u)
+        << "odd inverter count on a two-pin path";
+    EXPECT_TRUE(ParityFeasible(tree, p.repeaters, tech));
+  }
+  // Inverters must still help on a long line.
+  EXPECT_LT(result.MinArd()->ard_ps, result.MinCost()->ard_ps);
+}
+
+TEST(Inverter, AllParetoPointsParityFeasibleOnRandomNets) {
+  const Technology tech = MixedTech();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const RcTree tree = testing::SmallRandomNet(tech, seed, 6, 8000, 700.0);
+    const MsriResult result = RunMsri(tree, tech);
+    for (const TradeoffPoint& p : result.Pareto()) {
+      EXPECT_TRUE(ParityFeasible(tree, p.repeaters, tech))
+          << "seed " << seed << " cost " << p.cost;
+      const ArdResult check =
+          ComputeArd(tree, p.repeaters, p.drivers, tech);
+      EXPECT_NEAR(check.ard_ps, p.ard_ps, 1e-6);
+    }
+  }
+}
+
+TEST(Inverter, CheaperThanBuffersWhenPairsFit) {
+  // On a long 2-pin line, a pair of inverting repeaters (cost 2*1.2) can
+  // replace two buffer repeaters (cost 2*2) with comparable delay, so the
+  // mixed-library frontier must weakly dominate the buffer-only one.
+  const Technology buffers = testing::SmallTech();
+  const Technology mixed = MixedTech();
+  const RcTree tree = testing::TwoPinLine(buffers, 16'000.0, 10);
+  const MsriResult b = RunMsri(tree, buffers);
+  const MsriResult m = RunMsri(tree, mixed);
+  // For every buffer-only point there is a mixed point at most as
+  // expensive with at most the same ARD.
+  for (const TradeoffPoint& pb : b.Pareto()) {
+    const TradeoffPoint* pm = m.MinCostFeasible(pb.ard_ps + 1e-9);
+    ASSERT_NE(pm, nullptr);
+    EXPECT_LE(pm->cost, pb.cost + 1e-9);
+  }
+  // And the inverter library actually gets used somewhere on the frontier.
+  bool used_inverter = false;
+  for (const TradeoffPoint& p : m.Pareto()) {
+    for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+      if (p.repeaters.Has(v) &&
+          mixed.repeaters[p.repeaters.At(v)->repeater_index].inverting) {
+        used_inverter = true;
+      }
+    }
+  }
+  EXPECT_TRUE(used_inverter);
+}
+
+/// Optimality of the parity-constrained DP against brute force.
+class InverterOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InverterOptimality, InverterOnlyMatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const Technology tech = InverterTech();
+  const RcTree tree = testing::SmallRandomNet(tech, seed, 4, 4000, 1600.0);
+  if (tree.InsertionPoints().size() > 10) GTEST_SKIP();
+  const MsriResult dp = RunMsri(tree, tech);
+  const BruteForceResult brute = BruteForceMsri(tree, tech);
+  ASSERT_EQ(dp.Pareto().size(), brute.pareto.size());
+  for (std::size_t i = 0; i < dp.Pareto().size(); ++i) {
+    EXPECT_NEAR(dp.Pareto()[i].cost, brute.pareto[i].cost, 1e-9);
+    EXPECT_NEAR(dp.Pareto()[i].ard_ps, brute.pareto[i].ard_ps, 1e-6);
+  }
+}
+
+TEST_P(InverterOptimality, MixedLibraryMatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const Technology tech = MixedTech();
+  const RcTree tree = testing::SmallRandomNet(tech, seed, 3, 3500, 1800.0);
+  if (tree.InsertionPoints().size() > 7) GTEST_SKIP();
+  const MsriResult dp = RunMsri(tree, tech);
+  const BruteForceResult brute = BruteForceMsri(tree, tech);
+  ASSERT_EQ(dp.Pareto().size(), brute.pareto.size());
+  for (std::size_t i = 0; i < dp.Pareto().size(); ++i) {
+    EXPECT_NEAR(dp.Pareto()[i].cost, brute.pareto[i].cost, 1e-9);
+    EXPECT_NEAR(dp.Pareto()[i].ard_ps, brute.pareto[i].ard_ps, 1e-6);
+  }
+}
+
+TEST_P(InverterOptimality, VanGinnekenAgreesWithInverters) {
+  const std::uint64_t seed = GetParam();
+  const Technology tech = MixedTech();
+  RcTree tree = testing::SmallRandomNet(tech, seed, 4, 6000, 900.0);
+  for (std::size_t t = 0; t < tree.NumTerminals(); ++t) {
+    if (t == 0) {
+      tree.MutableTerminal(t).is_sink = false;
+    } else {
+      tree.MutableTerminal(t).is_source = false;
+    }
+  }
+  const VanGinnekenResult vg = RunVanGinneken(tree, tech, 0);
+  MsriOptions opt;
+  opt.root = tree.TerminalNode(0);
+  const MsriResult msri = RunMsri(tree, tech, opt);
+  ASSERT_EQ(vg.pareto.size(), msri.Pareto().size());
+  for (std::size_t i = 0; i < vg.pareto.size(); ++i) {
+    EXPECT_NEAR(vg.pareto[i].cost, msri.Pareto()[i].cost, 1e-9);
+    EXPECT_NEAR(vg.pareto[i].ard_ps, msri.Pareto()[i].ard_ps, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InverterOptimality,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,183 @@
+#include "core/mfs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace msn {
+namespace {
+
+SolutionPtr Make(double cost, double cap, double delay, Pwl arr, Pwl diam) {
+  auto s = std::make_shared<MsriSolution>();
+  s->cost = cost;
+  s->cap = cap;
+  s->sink_delay = delay;
+  s->arr = std::move(arr);
+  s->diam = std::move(diam);
+  return s;
+}
+
+MfsOptions Quadratic() {
+  MfsOptions o;
+  o.mode = MfsOptions::Mode::kQuadratic;
+  return o;
+}
+
+TEST(Mfs, FullyDominatedSolutionRemoved) {
+  SolutionSet set;
+  set.push_back(Make(1.0, 1.0, 10.0, Pwl::Line(5.0, 1.0), Pwl::NegInf()));
+  set.push_back(Make(2.0, 2.0, 20.0, Pwl::Line(9.0, 2.0), Pwl::NegInf()));
+  const SolutionSet out = ComputeMfs(set, Quadratic());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0]->cost, 1.0);
+}
+
+TEST(Mfs, IncomparableScalarsBothSurvive) {
+  SolutionSet set;
+  set.push_back(Make(1.0, 5.0, 10.0, Pwl::Constant(0.0), Pwl::NegInf()));
+  set.push_back(Make(5.0, 1.0, 10.0, Pwl::Constant(0.0), Pwl::NegInf()));
+  EXPECT_EQ(ComputeMfs(set, Quadratic()).size(), 2u);
+}
+
+TEST(Mfs, PartialDomainPruning) {
+  // s1 cheaper scalars; arr functions cross at x = 5: s1 wins for x > 5.
+  SolutionSet set;
+  set.push_back(Make(1.0, 1.0, 0.0, Pwl::Constant(10.0), Pwl::NegInf()));
+  set.push_back(Make(1.0, 1.0, 0.0, Pwl::Line(0.0, 2.0), Pwl::NegInf()));
+  const SolutionSet out = ComputeMfs(set, Quadratic());
+  ASSERT_EQ(out.size(), 2u);
+  // The constant one survives only where it's at most the line (x >= 5
+  // minus eps effects), the line only where it's at most the constant.
+  for (const SolutionPtr& s : out) {
+    EXPECT_FALSE(s->valid.Empty());
+    EXPECT_FALSE(s->valid == IntervalSet::NonNegativeReals());
+  }
+}
+
+TEST(Mfs, IdenticalSolutionsKeepExactlyOne) {
+  SolutionSet set;
+  for (int i = 0; i < 4; ++i) {
+    set.push_back(
+        Make(3.0, 2.0, 7.0, Pwl::Line(1.0, 1.0), Pwl::Constant(5.0)));
+  }
+  EXPECT_EQ(ComputeMfs(set, Quadratic()).size(), 1u);
+}
+
+TEST(Mfs, OffModeKeepsEverything) {
+  SolutionSet set;
+  set.push_back(Make(1.0, 1.0, 1.0, Pwl::Constant(1.0), Pwl::NegInf()));
+  set.push_back(Make(9.0, 9.0, 9.0, Pwl::Constant(9.0), Pwl::NegInf()));
+  MfsOptions off;
+  off.mode = MfsOptions::Mode::kOff;
+  EXPECT_EQ(ComputeMfs(set, off).size(), 2u);
+}
+
+TEST(Mfs, BottomArrDominatesNothingButIsDominated) {
+  // A sink-only solution (arr = -inf) is dominated by an identical
+  // solution that also has -inf arr, but a source solution never prunes
+  // a cheaper sink-only one.
+  SolutionSet set;
+  set.push_back(Make(1.0, 1.0, 5.0, Pwl::NegInf(), Pwl::NegInf()));
+  set.push_back(Make(2.0, 1.0, 5.0, Pwl::Constant(3.0), Pwl::NegInf()));
+  const SolutionSet out = ComputeMfs(set, Quadratic());
+  // The -inf-arr solution dominates the other on every axis (cost lower,
+  // arr -inf <= 3): only it survives.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0]->cost, 1.0);
+}
+
+TEST(Mfs, RespectsDominatorValidRegion) {
+  // The dominator is only valid on [0, 2): it must not prune beyond.
+  SolutionSet set;
+  auto dom = Make(1.0, 1.0, 0.0, Pwl::Constant(0.0), Pwl::NegInf());
+  dom->valid = IntervalSet(0.0, 2.0);
+  auto victim = Make(2.0, 2.0, 0.0, Pwl::Constant(1.0), Pwl::NegInf());
+  set.push_back(dom);
+  set.push_back(victim);
+  const SolutionSet out = ComputeMfs(set, Quadratic());
+  ASSERT_EQ(out.size(), 2u);
+  const SolutionPtr& v = out[0]->cost == 2.0 ? out[0] : out[1];
+  EXPECT_FALSE(v->valid.Contains(1.0));
+  EXPECT_TRUE(v->valid.Contains(2.0));
+  EXPECT_TRUE(v->valid.Contains(100.0));
+}
+
+TEST(Mfs, DiamDimensionBlocksPruning) {
+  // Better cost/cap/arr but worse diam somewhere: no full prune there.
+  SolutionSet set;
+  set.push_back(Make(1.0, 1.0, 0.0, Pwl::Constant(0.0),
+                     Pwl::Line(0.0, 3.0)));
+  set.push_back(Make(2.0, 2.0, 0.0, Pwl::Constant(1.0),
+                     Pwl::Constant(10.0)));
+  const SolutionSet out = ComputeMfs(set, Quadratic());
+  ASSERT_EQ(out.size(), 2u);
+  // Victim (cost 2) survives exactly where dominator's diam exceeds 10,
+  // i.e. x > 10/3.
+  const SolutionPtr& v = out[0]->cost == 2.0 ? out[0] : out[1];
+  EXPECT_FALSE(v->valid.Contains(3.0));
+  EXPECT_TRUE(v->valid.Contains(4.0));
+}
+
+/// Divide-and-conquer agrees with quadratic pruning on the surviving
+/// frontier (same minimal cover, possibly different tie-breaks — we check
+/// coverage: for sampled x, the best achievable 5-tuple is preserved).
+class MfsModeAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MfsModeAgreement, SameCoverage) {
+  Rng rng(GetParam());
+  SolutionSet set;
+  const int n = 40;
+  for (int i = 0; i < n; ++i) {
+    set.push_back(Make(rng.UniformReal(0.0, 4.0), rng.UniformReal(0.0, 2.0),
+                       rng.UniformReal(0.0, 100.0),
+                       Pwl::Line(rng.UniformReal(0.0, 200.0),
+                                 rng.UniformReal(0.0, 30.0)),
+                       Pwl::Line(rng.UniformReal(0.0, 300.0),
+                                 rng.UniformReal(0.0, 30.0))));
+  }
+  // Deep-copy for the second mode (ComputeMfs mutates valid regions).
+  SolutionSet set2;
+  for (const SolutionPtr& s : set) {
+    set2.push_back(std::make_shared<MsriSolution>(*s));
+  }
+
+  MfsOptions quad = Quadratic();
+  MfsOptions dc;
+  dc.mode = MfsOptions::Mode::kDivideConquer;
+  const SolutionSet a = ComputeMfs(set, quad);
+  const SolutionSet b = ComputeMfs(set2, dc);
+
+  // For sampled x, every solution valid at x in one survivor set must be
+  // matched (in all 5 dims, up to eps) by some valid solution in the other.
+  auto covered = [](const SolutionSet& by, const MsriSolution& s,
+                    double x) {
+    for (const SolutionPtr& k : by) {
+      if (!k->valid.Contains(x)) continue;
+      if (k->cost <= s.cost + 1e-6 && k->cap <= s.cap + 1e-6 &&
+          k->sink_delay <= s.sink_delay + 1e-6 &&
+          k->arr.Eval(x) <= s.arr.Eval(x) + 1e-6 &&
+          k->diam.Eval(x) <= s.diam.Eval(x) + 1e-6) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (double x : {0.0, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+    for (const SolutionPtr& s : a) {
+      if (s->valid.Contains(x)) {
+        EXPECT_TRUE(covered(b, *s, x)) << "x=" << x;
+      }
+    }
+    for (const SolutionPtr& s : b) {
+      if (s->valid.Contains(x)) {
+        EXPECT_TRUE(covered(a, *s, x)) << "x=" << x;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MfsModeAgreement,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace msn

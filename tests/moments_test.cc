@@ -1,0 +1,230 @@
+// Tests for the two-moment (D2M) delay engine.
+#include "elmore/moments.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/ard.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+using testing::RandomAssignment;
+using testing::SmallRandomNet;
+using testing::TwoPinLine;
+
+TEST(Moments, SingleStageHandComputed) {
+  // Two pins joined by one wire: pi-lumped model with node caps
+  // (pin + C/2) at each end.
+  const Technology tech = DefaultTechnology();
+  RcTree tree(tech.wire);
+  const TerminalParams tp = DefaultTerminal(tech);
+  const NodeId a = tree.AddTerminal(tp, {0, 0});
+  const NodeId b = tree.AddTerminal(tp, {2000, 0});
+  tree.AddEdge(a, b, 2000.0);
+
+  const EffectiveTerminal eff = ResolveTerminal(tp);
+  const double R = 2000.0 * tech.wire.res_per_um;
+  const double C = 2000.0 * tech.wire.cap_per_um;
+  const double rd = eff.driver_res;
+  const double ca = eff.pin_cap + C / 2.0;
+  const double cb = eff.pin_cap + C / 2.0;
+
+  const double m1a = rd * (ca + cb);
+  const double m1b = m1a + R * cb;
+  const double mu_b = cb * m1b;
+  const double mu_a = ca * m1a + mu_b;
+  const double m2a = rd * mu_a;
+  const double m2b = m2a + R * mu_b;
+
+  const SourceMoments m = ComputeSourceMoments(
+      tree, 0, RepeaterAssignment(tree.NumNodes()),
+      DriverAssignment(tree.NumTerminals()), tech);
+  EXPECT_NEAR(m.m1[a], m1a, 1e-9);
+  EXPECT_NEAR(m.m1[b], m1b, 1e-9);
+  EXPECT_NEAR(m.m2[a], m2a, 1e-9);
+  EXPECT_NEAR(m.m2[b], m2b, 1e-9);
+  EXPECT_NEAR(m.delay_ps[b],
+              eff.arrival_ps + eff.driver_intrinsic_ps +
+                  D2mDelay(m1b, m2b),
+              1e-9);
+}
+
+TEST(Moments, D2mOfFirstOrderIsLn2Tau) {
+  // A single-pole system (m2 == m1^2) has exact 50% delay ln2 * tau.
+  EXPECT_NEAR(D2mDelay(100.0, 100.0 * 100.0), 0.6931471805599453 * 100.0,
+              1e-9);
+  // Zero-resistance degenerate case falls back to ln2 * m1.
+  EXPECT_NEAR(D2mDelay(5.0, 0.0), 0.6931471805599453 * 5.0, 1e-12);
+}
+
+TEST(Moments, StageM1MatchesElmoreArrival) {
+  // Without repeaters there is a single stage, so AT + intrinsic + m1
+  // must equal the Elmore engine's arrival at every node.
+  const Technology tech = testing::SmallTech();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const RcTree tree = SmallRandomNet(tech, seed, 6, 7000, 900.0);
+    const RepeaterAssignment none(tree.NumNodes());
+    const DriverAssignment drivers(tree.NumTerminals());
+    const SourceMoments m =
+        ComputeSourceMoments(tree, 0, none, drivers, tech);
+    const SourceDelays d =
+        ComputeSourceDelays(tree, 0, none, drivers, tech);
+    const EffectiveTerminal eff = drivers.Resolve(tree, 0);
+    for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+      if (v == tree.TerminalNode(0)) continue;  // Source holds the
+      // driver-output moments; arrival[source] is the input-side AT.
+      EXPECT_NEAR(eff.arrival_ps + eff.driver_intrinsic_ps + m.m1[v],
+                  d.arrival[v], 1e-9)
+          << "seed " << seed << " node " << v;
+    }
+  }
+}
+
+TEST(Moments, JensenBoundHolds) {
+  // h(t) of an RC stage is a positive mix of exponentials, so
+  // E[t^2] >= E[t]^2 (Jensen); in circuit-moment convention (m2 is the
+  // s^2 transfer coefficient = E[t^2]/2) that reads 2*m2 >= m1^2.
+  const Technology tech = testing::SmallTech();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const RcTree tree = SmallRandomNet(tech, seed, 7, 8000, 700.0);
+    Rng rng(seed * 13);
+    const RepeaterAssignment assign = RandomAssignment(tree, tech, rng);
+    const DriverAssignment drivers(tree.NumTerminals());
+    const SourceMoments m =
+        ComputeSourceMoments(tree, 0, assign, drivers, tech);
+    for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+      EXPECT_GE(2.0 * m.m2[v], m.m1[v] * m.m1[v] * (1.0 - 1e-9))
+          << "seed " << seed << " node " << v;
+    }
+  }
+}
+
+TEST(Moments, D2mNeverExceedsElmore) {
+  // Jensen => sqrt(m2) >= m1/sqrt(2) => D2M <= ln2*sqrt(2)*m1 < m1, per
+  // stage; stage sums preserve the inequality against Elmore arrivals.
+  const Technology tech = testing::SmallTech();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const RcTree tree = SmallRandomNet(tech, seed, 6, 8000, 800.0);
+    Rng rng(seed + 5);
+    const RepeaterAssignment assign = RandomAssignment(tree, tech, rng);
+    const DriverAssignment drivers(tree.NumTerminals());
+    const SourceMoments m =
+        ComputeSourceMoments(tree, 0, assign, drivers, tech);
+    const SourceDelays d =
+        ComputeSourceDelays(tree, 0, assign, drivers, tech);
+    for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+      if (v == tree.TerminalNode(0)) continue;  // Input-side vs output.
+      EXPECT_LE(m.delay_ps[v], d.arrival[v] + 1e-9)
+          << "seed " << seed << " node " << v;
+    }
+  }
+}
+
+TEST(Moments, FarSinkRatioIsInKnownBand) {
+  // On a long unbuffered line the distributed response is Elmore-like;
+  // D2M should sit between ~60% and 100% of the Elmore estimate.
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = TwoPinLine(tech, 15'000.0, 10);
+  const RepeaterAssignment none(tree.NumNodes());
+  const DriverAssignment drivers(tree.NumTerminals());
+  const SourceMoments m = ComputeSourceMoments(tree, 0, none, drivers, tech);
+  const SourceDelays d = ComputeSourceDelays(tree, 0, none, drivers, tech);
+  const NodeId sink = tree.TerminalNode(1);
+  const double ratio = m.delay_ps[sink] / d.arrival[sink];
+  EXPECT_GT(ratio, 0.55);
+  EXPECT_LT(ratio, 1.0);
+}
+
+TEST(Moments, RepeaterDecouplesDownstream) {
+  const Technology tech = testing::SmallTech();
+  std::vector<double> at_ip;
+  for (const double tail : {600.0, 5000.0}) {
+    RcTree tree(tech.wire);
+    const TerminalParams tp = DefaultTerminal(tech);
+    const NodeId a = tree.AddTerminal(tp, {0, 0});
+    const NodeId ip = tree.AddNode(NodeKind::kInsertion, {500, 0});
+    const NodeId b = tree.AddTerminal(
+        tp, {500 + static_cast<std::int64_t>(tail), 0});
+    tree.AddEdge(a, ip, 500.0);
+    tree.AddEdge(ip, b, tail);
+    RepeaterAssignment assign(tree.NumNodes());
+    assign.Place(ip, PlacedRepeater{0, a});
+    const SourceMoments m = ComputeSourceMoments(
+        tree, 0, assign, DriverAssignment(tree.NumTerminals()), tech);
+    at_ip.push_back(m.delay_ps[ip]);
+  }
+  EXPECT_NEAR(at_ip[0], at_ip[1], 1e-9);
+}
+
+TEST(Moments, ArdD2mShapesMatchElmore) {
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = SmallRandomNet(tech, 12, 8, 9000, 800.0);
+  const RepeaterAssignment none(tree.NumNodes());
+  const DriverAssignment drivers(tree.NumTerminals());
+  const ArdResult d2m = ComputeArdD2M(tree, none, drivers, tech);
+  const ArdResult elmore = ComputeArd(tree, none, drivers, tech);
+  ASSERT_TRUE(d2m.HasPair());
+  EXPECT_LE(d2m.ard_ps, elmore.ard_ps + 1e-9);
+  EXPECT_GT(d2m.ard_ps, 0.5 * elmore.ard_ps);
+}
+
+TEST(Moments, SlewOfSinglePoleIsLn9Tau) {
+  // sigma of a single-pole response equals tau; 10-90 slew = ln9 * tau.
+  EXPECT_NEAR(SlewEstimate(100.0, 100.0 * 100.0),
+              2.1972245773362196 * 100.0, 1e-9);
+  // Degenerate zero-variance input clamps to zero.
+  EXPECT_DOUBLE_EQ(SlewEstimate(10.0, 50.0), 0.0);
+}
+
+TEST(Moments, SlewGrowsAlongUnbufferedLineAndResetsAtRepeaters) {
+  const Technology tech = testing::SmallTech();
+  // Unbuffered 12 mm line: slew at the far end exceeds slew mid-line.
+  {
+    const RcTree tree = TwoPinLine(tech, 12'000.0, 3);
+    const SourceMoments m = ComputeSourceMoments(
+        tree, 0, RepeaterAssignment(tree.NumNodes()),
+        DriverAssignment(tree.NumTerminals()), tech);
+    const NodeId mid = tree.InsertionPoints()[1];
+    const NodeId far = tree.TerminalNode(1);
+    EXPECT_GT(SlewEstimate(m.m1[far], m.m2[far]),
+              SlewEstimate(m.m1[mid], m.m2[mid]));
+  }
+  // Same line with a repeater at the middle: the slew at the far end is
+  // the *new stage's* slew, far below the unbuffered line's.
+  {
+    const RcTree tree = TwoPinLine(tech, 12'000.0, 3);
+    RepeaterAssignment assign(tree.NumNodes());
+    const NodeId mid = tree.InsertionPoints()[1];
+    const RcEdge& adj = tree.Edge(tree.AdjacentEdges(mid)[0]);
+    assign.Place(mid,
+                 PlacedRepeater{0, adj.a == mid ? adj.b : adj.a});
+    const SourceMoments buffered = ComputeSourceMoments(
+        tree, 0, assign, DriverAssignment(tree.NumTerminals()), tech);
+    const SourceMoments plain = ComputeSourceMoments(
+        tree, 0, RepeaterAssignment(tree.NumNodes()),
+        DriverAssignment(tree.NumTerminals()), tech);
+    const NodeId far = tree.TerminalNode(1);
+    EXPECT_LT(SlewEstimate(buffered.m1[far], buffered.m2[far]),
+              SlewEstimate(plain.m1[far], plain.m2[far]));
+  }
+}
+
+TEST(Moments, RejectsNonSource) {
+  const Technology tech = DefaultTechnology();
+  RcTree tree(tech.wire);
+  TerminalParams sink_only = DefaultTerminal(tech);
+  sink_only.is_source = false;
+  const NodeId a = tree.AddTerminal(sink_only, {0, 0});
+  const NodeId b = tree.AddTerminal(DefaultTerminal(tech), {100, 0});
+  tree.AddEdge(a, b, 100.0);
+  EXPECT_THROW(
+      ComputeSourceMoments(tree, 0, RepeaterAssignment(tree.NumNodes()),
+                           DriverAssignment(tree.NumTerminals()), tech),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace msn

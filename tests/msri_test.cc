@@ -1,0 +1,270 @@
+#include "core/msri.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.h"
+#include "common/check.h"
+#include "core/ard.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+using testing::SmallRandomNet;
+using testing::SmallTech;
+using testing::TwoPinLine;
+
+TEST(Msri, TwoPinNoRepeaterPointMatchesPlainArd) {
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 2000.0, 1);
+  const MsriResult result = RunMsri(tree, tech);
+  ASSERT_FALSE(result.Pareto().empty());
+  const TradeoffPoint* base = result.MinCost();
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->num_repeaters, 0u);
+  EXPECT_DOUBLE_EQ(base->cost, 4.0);  // Two default 1X/1X terminals.
+  EXPECT_NEAR(base->ard_ps, ComputeArd(tree, tech).ard_ps, 1e-9);
+}
+
+TEST(Msri, ParetoIsMonotone) {
+  const Technology tech = SmallTech();
+  const RcTree tree = SmallRandomNet(tech, 5, 6, 9000, 800.0);
+  const MsriResult result = RunMsri(tree, tech);
+  const auto& pareto = result.Pareto();
+  ASSERT_GE(pareto.size(), 2u);
+  for (std::size_t i = 1; i < pareto.size(); ++i) {
+    EXPECT_GT(pareto[i].cost, pareto[i - 1].cost);
+    EXPECT_LT(pareto[i].ard_ps, pareto[i - 1].ard_ps);
+  }
+}
+
+TEST(Msri, EveryParetoPointVerifiesAgainstArdEngine) {
+  const Technology tech = SmallTech();
+  const RcTree tree = SmallRandomNet(tech, 3, 6, 9000, 800.0);
+  const MsriResult result = RunMsri(tree, tech);
+  ASSERT_FALSE(result.Pareto().empty());
+  for (const TradeoffPoint& p : result.Pareto()) {
+    const ArdResult check =
+        ComputeArd(tree, p.repeaters, p.drivers, tech);
+    EXPECT_NEAR(check.ard_ps, p.ard_ps, 1e-6)
+        << "cost " << p.cost << " repeaters " << p.num_repeaters;
+    // Cost must equal terminal driver costs + repeater costs.
+    EXPECT_NEAR(p.cost, p.drivers.Cost(tree) + p.repeaters.Cost(tech),
+                1e-9);
+  }
+}
+
+TEST(Msri, RepeatersImproveLongLine) {
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 20'000.0, 12);
+  const MsriResult result = RunMsri(tree, tech);
+  ASSERT_GE(result.Pareto().size(), 2u);
+  EXPECT_LT(result.MinArd()->ard_ps, 0.7 * result.MinCost()->ard_ps)
+      << "repeaters should cut a 2 cm line's diameter substantially";
+  EXPECT_GE(result.MinArd()->num_repeaters, 1u);
+}
+
+TEST(Msri, FeasibilityQueries) {
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 6000.0, 4);
+  const MsriResult result = RunMsri(tree, tech);
+  const double best = result.MinArd()->ard_ps;
+  const double worst = result.MinCost()->ard_ps;
+  EXPECT_EQ(result.MinCostFeasible(best - 1.0), nullptr);
+  EXPECT_EQ(result.MinCostFeasible(best), result.MinArd());
+  EXPECT_EQ(result.MinCostFeasible(worst + 1e9), result.MinCost());
+  // Intermediate spec: feasible and costs at most the min-ard cost.
+  const double mid = (best + worst) / 2.0;
+  const TradeoffPoint* p = result.MinCostFeasible(mid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_LE(p->ard_ps, mid);
+  EXPECT_LE(p->cost, result.MinArd()->cost);
+}
+
+TEST(Msri, RootChoiceDoesNotChangeFrontier) {
+  const Technology tech = SmallTech();
+  const RcTree tree = SmallRandomNet(tech, 9, 5, 6000, 900.0);
+  MsriOptions opt;
+  opt.root = tree.TerminalNode(0);
+  const MsriResult a = RunMsri(tree, tech, opt);
+  opt.root = tree.TerminalNode(tree.NumTerminals() - 1);
+  const MsriResult b = RunMsri(tree, tech, opt);
+  ASSERT_EQ(a.Pareto().size(), b.Pareto().size());
+  for (std::size_t i = 0; i < a.Pareto().size(); ++i) {
+    EXPECT_NEAR(a.Pareto()[i].cost, b.Pareto()[i].cost, 1e-9);
+    EXPECT_NEAR(a.Pareto()[i].ard_ps, b.Pareto()[i].ard_ps, 1e-6);
+  }
+}
+
+TEST(Msri, PruningOffMatchesPruningOn) {
+  const Technology tech = SmallTech();
+  // Keep the net tiny: MFS off grows exponentially in insertion points.
+  const RcTree tree = TwoPinLine(tech, 3000.0, 3);
+  MsriOptions on;
+  MsriOptions off;
+  off.mfs.mode = MfsOptions::Mode::kOff;
+  const MsriResult with = RunMsri(tree, tech, on);
+  const MsriResult without = RunMsri(tree, tech, off);
+  ASSERT_EQ(with.Pareto().size(), without.Pareto().size());
+  for (std::size_t i = 0; i < with.Pareto().size(); ++i) {
+    EXPECT_NEAR(with.Pareto()[i].cost, without.Pareto()[i].cost, 1e-9);
+    EXPECT_NEAR(with.Pareto()[i].ard_ps, without.Pareto()[i].ard_ps, 1e-6);
+  }
+  EXPECT_LE(with.Stats().max_set_size, without.Stats().max_set_size);
+}
+
+TEST(Msri, QuadraticAndDivideConquerAgree) {
+  const Technology tech = SmallTech();
+  const RcTree tree = SmallRandomNet(tech, 21, 5, 7000, 800.0);
+  MsriOptions quad;
+  quad.mfs.mode = MfsOptions::Mode::kQuadratic;
+  MsriOptions dc;
+  dc.mfs.mode = MfsOptions::Mode::kDivideConquer;
+  const MsriResult a = RunMsri(tree, tech, quad);
+  const MsriResult b = RunMsri(tree, tech, dc);
+  ASSERT_EQ(a.Pareto().size(), b.Pareto().size());
+  for (std::size_t i = 0; i < a.Pareto().size(); ++i) {
+    EXPECT_NEAR(a.Pareto()[i].cost, b.Pareto()[i].cost, 1e-9);
+    EXPECT_NEAR(a.Pareto()[i].ard_ps, b.Pareto()[i].ard_ps, 1e-6);
+  }
+}
+
+TEST(Msri, AsymmetricRepeaterOrientationChosenCorrectly) {
+  // One pure source, one pure sink: signal flows only source -> sink, so
+  // the DP should orient the asymmetric repeater with its fast direction
+  // downstream and beat the no-repeater solution.
+  const Technology tech = testing::AsymmetricTech();
+  RcTree tree(tech.wire);
+  TerminalParams src = DefaultTerminal(tech);
+  src.is_sink = false;
+  TerminalParams dst = DefaultTerminal(tech);
+  dst.is_source = false;
+  const NodeId a = tree.AddTerminal(src, {0, 0});
+  const NodeId ip = tree.AddNode(NodeKind::kInsertion, {4000, 0});
+  const NodeId b = tree.AddTerminal(dst, {8000, 0});
+  tree.AddEdge(a, ip, 4000.0);
+  tree.AddEdge(ip, b, 4000.0);
+  tree.Validate();
+
+  const MsriResult result = RunMsri(tree, tech);
+  const TradeoffPoint* best = result.MinArd();
+  ASSERT_NE(best, nullptr);
+  ASSERT_EQ(best->num_repeaters, 1u);
+  // Verify that flipping the chosen orientation is no better.
+  const PlacedRepeater placed = *best->repeaters.At(ip);
+  const NodeId other = placed.a_side_neighbor == a ? b : a;
+  RepeaterAssignment flipped(tree.NumNodes());
+  flipped.Place(ip, PlacedRepeater{placed.repeater_index, other});
+  const double flipped_ard =
+      ComputeArd(tree, flipped, DriverAssignment(tree.NumTerminals()), tech)
+          .ard_ps;
+  EXPECT_LE(best->ard_ps, flipped_ard + 1e-9);
+}
+
+TEST(Msri, RejectsDegenerateInputs) {
+  const Technology tech = SmallTech();
+  RcTree one(tech.wire);
+  one.AddTerminal(DefaultTerminal(tech), {0, 0});
+  EXPECT_THROW(RunMsri(one, tech), CheckError);
+
+  const RcTree tree = TwoPinLine(tech, 1000.0, 1);
+  MsriOptions opt;
+  opt.size_drivers = true;  // ...but no library.
+  EXPECT_THROW(RunMsri(tree, tech, opt), CheckError);
+
+  Technology no_reps = tech;
+  no_reps.repeaters.clear();
+  EXPECT_THROW(RunMsri(tree, no_reps), CheckError);
+
+  MsriOptions bad_root;
+  bad_root.root = tree.InsertionPoints()[0];
+  EXPECT_THROW(RunMsri(tree, tech, bad_root), CheckError);
+}
+
+/// Theorem 4.1: the DP frontier equals the exhaustive frontier.
+class MsriOptimalityTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static void ExpectSameFrontier(const std::vector<TradeoffPoint>& dp,
+                                 const std::vector<TradeoffPoint>& brute) {
+    ASSERT_EQ(dp.size(), brute.size());
+    for (std::size_t i = 0; i < dp.size(); ++i) {
+      EXPECT_NEAR(dp[i].cost, brute[i].cost, 1e-9) << "point " << i;
+      EXPECT_NEAR(dp[i].ard_ps, brute[i].ard_ps, 1e-6) << "point " << i;
+    }
+  }
+};
+
+TEST_P(MsriOptimalityTest, RepeaterInsertionMatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const Technology tech = SmallTech();
+  const RcTree tree = SmallRandomNet(tech, seed, 4, 4000, 1600.0);
+  if (tree.InsertionPoints().size() > 10) GTEST_SKIP();
+  const MsriResult dp = RunMsri(tree, tech);
+  const BruteForceResult brute = BruteForceMsri(tree, tech);
+  ExpectSameFrontier(dp.Pareto(), brute.pareto);
+}
+
+TEST_P(MsriOptimalityTest, AsymmetricRepeaterMatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const Technology tech = testing::AsymmetricTech();
+  const RcTree tree = SmallRandomNet(tech, seed, 3, 4000, 2000.0);
+  if (tree.InsertionPoints().size() > 7) GTEST_SKIP();
+  const MsriResult dp = RunMsri(tree, tech);
+  const BruteForceResult brute = BruteForceMsri(tree, tech);
+  ExpectSameFrontier(dp.Pareto(), brute.pareto);
+}
+
+TEST_P(MsriOptimalityTest, TwoRepeaterLibraryMatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const Technology tech = testing::TwoRepeaterTech();
+  const RcTree tree = SmallRandomNet(tech, seed, 3, 3500, 1800.0);
+  if (tree.InsertionPoints().size() > 7) GTEST_SKIP();
+  const MsriResult dp = RunMsri(tree, tech);
+  const BruteForceResult brute = BruteForceMsri(tree, tech);
+  ExpectSameFrontier(dp.Pareto(), brute.pareto);
+}
+
+TEST_P(MsriOptimalityTest, DriverSizingMatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const Technology tech = SmallTech();
+  const RcTree tree = SmallRandomNet(tech, seed, 3, 3000, 3000.0);
+  const auto lib = DriverSizingLibrary(tech, {1.0, 2.0, 4.0});
+
+  MsriOptions opt;
+  opt.insert_repeaters = false;
+  opt.size_drivers = true;
+  opt.sizing_library = lib;
+  const MsriResult dp = RunMsri(tree, tech, opt);
+
+  BruteForceOptions bopt;
+  bopt.insert_repeaters = false;
+  bopt.size_drivers = true;
+  bopt.sizing_library = lib;
+  const BruteForceResult brute = BruteForceMsri(tree, tech, bopt);
+  ExpectSameFrontier(dp.Pareto(), brute.pareto);
+}
+
+TEST_P(MsriOptimalityTest, JointSizingAndRepeatersMatchBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const Technology tech = SmallTech();
+  const RcTree tree = SmallRandomNet(tech, seed, 3, 3000, 3000.0);
+  if (tree.InsertionPoints().size() > 5) GTEST_SKIP();
+  const auto lib = DriverSizingLibrary(tech, {1.0, 3.0});
+
+  MsriOptions opt;
+  opt.size_drivers = true;
+  opt.sizing_library = lib;
+  const MsriResult dp = RunMsri(tree, tech, opt);
+
+  BruteForceOptions bopt;
+  bopt.size_drivers = true;
+  bopt.sizing_library = lib;
+  const BruteForceResult brute = BruteForceMsri(tree, tech, bopt);
+  ExpectSameFrontier(dp.Pareto(), brute.pareto);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsriOptimalityTest,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,167 @@
+#include "io/netfile.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "core/ard.h"
+#include "core/msri.h"
+#include "netgen/netgen.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+TEST(NetFile, RoundTripPreservesStructure) {
+  const Technology tech = DefaultTechnology();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    NetConfig cfg;
+    cfg.seed = seed;
+    cfg.num_terminals = 7;
+    const RcTree tree = BuildExperimentNet(cfg, tech);
+    const RcTree copy = RoundTripNet(tree);
+    ASSERT_EQ(copy.NumNodes(), tree.NumNodes());
+    ASSERT_EQ(copy.NumEdges(), tree.NumEdges());
+    ASSERT_EQ(copy.NumTerminals(), tree.NumTerminals());
+    ASSERT_EQ(copy.InsertionPoints().size(),
+              tree.InsertionPoints().size());
+    for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+      EXPECT_EQ(copy.Node(v).kind, tree.Node(v).kind);
+      EXPECT_EQ(copy.Node(v).pos, tree.Node(v).pos);
+      EXPECT_EQ(copy.Node(v).terminal_index, tree.Node(v).terminal_index);
+    }
+    for (std::size_t e = 0; e < tree.NumEdges(); ++e) {
+      EXPECT_EQ(copy.Edge(e).a, tree.Edge(e).a);
+      EXPECT_EQ(copy.Edge(e).b, tree.Edge(e).b);
+      EXPECT_DOUBLE_EQ(copy.Edge(e).length_um, tree.Edge(e).length_um);
+    }
+  }
+}
+
+TEST(NetFile, RoundTripPreservesTiming) {
+  const Technology tech = DefaultTechnology();
+  NetConfig cfg;
+  cfg.seed = 11;
+  cfg.num_terminals = 8;
+  RcTree tree = BuildExperimentNet(cfg, tech);
+  tree.MutableTerminal(2).arrival_ps = 123.0;
+  tree.MutableTerminal(5).is_source = false;
+  const RcTree copy = RoundTripNet(tree);
+  // Electrically identical nets yield bit-comparable ARD.
+  EXPECT_NEAR(ComputeArd(copy, tech).ard_ps, ComputeArd(tree, tech).ard_ps,
+              1e-9);
+  EXPECT_DOUBLE_EQ(copy.Terminal(2).arrival_ps, 123.0);
+  EXPECT_FALSE(copy.Terminal(5).is_source);
+}
+
+TEST(NetFile, SolutionRoundTrip) {
+  const Technology tech = DefaultTechnology();
+  NetConfig cfg;
+  cfg.seed = 4;
+  cfg.num_terminals = 6;
+  const RcTree tree = BuildExperimentNet(cfg, tech);
+
+  MsriOptions opt;
+  opt.size_drivers = true;
+  opt.sizing_library = DriverSizingLibrary(tech, {1.0, 2.0});
+  const MsriResult result = RunMsri(tree, tech, opt);
+  const TradeoffPoint* best = result.MinArd();
+  ASSERT_NE(best, nullptr);
+
+  std::stringstream ss;
+  WriteSolution(ss, tree, *best);
+  const SolutionFile sol = ReadSolution(ss, tree);
+
+  const double orig =
+      ComputeArd(tree, best->repeaters, best->drivers, tech).ard_ps;
+  const double loaded =
+      ComputeArd(tree, sol.repeaters, sol.drivers, tech).ard_ps;
+  EXPECT_NEAR(loaded, orig, 1e-9);
+  EXPECT_EQ(sol.repeaters.CountPlaced(), best->num_repeaters);
+}
+
+TEST(NetFile, WireWidthsRoundTrip) {
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = testing::TwoPinLine(tech, 4000.0, 3);
+  TradeoffPoint p{0.0,
+                  0.0,
+                  RepeaterAssignment(tree.NumNodes()),
+                  DriverAssignment(tree.NumTerminals()),
+                  0,
+                  std::vector<double>(tree.NumEdges(), 1.0)};
+  p.wire_widths[1] = 2.0;
+  p.wire_widths[3] = 3.0;
+  std::stringstream ss;
+  WriteSolution(ss, tree, p);
+  const SolutionFile sol = ReadSolution(ss, tree);
+  ASSERT_EQ(sol.wire_widths.size(), tree.NumEdges());
+  EXPECT_DOUBLE_EQ(sol.wire_widths[0], 1.0);
+  EXPECT_DOUBLE_EQ(sol.wire_widths[1], 2.0);
+  EXPECT_DOUBLE_EQ(sol.wire_widths[3], 3.0);
+}
+
+TEST(NetFile, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss;
+  ss << "# a tiny two-pin net\n"
+     << "msn-net 1\n\n"
+     << "wire 0.04 0.000118  # ohm/um, pF/um\n"
+     << "node 0 terminal 0 0\n"
+     << "node 1 terminal 1000 0\n"
+     << "terminal 0 0 0 1 1 0.05 180 36.4 20 72.4 2\n"
+     << "terminal 1 0 0 1 1 0.05 180 36.4 20 72.4 2\n"
+     << "edge 0 1 1000\n"
+     << "end\n";
+  const RcTree tree = ReadNet(ss);
+  EXPECT_EQ(tree.NumTerminals(), 2u);
+  EXPECT_DOUBLE_EQ(tree.Terminal(0).driver.driver_res, 180.0);
+}
+
+TEST(NetFile, MalformedInputsRejectedWithLineNumbers) {
+  auto expect_throw = [](const std::string& text, const char* what) {
+    std::stringstream ss(text);
+    try {
+      ReadNet(ss);
+      FAIL() << "expected failure: " << what;
+    } catch (const CheckError& e) {
+      SUCCEED();
+    }
+  };
+  expect_throw("node 0 terminal 0 0\n", "missing header");
+  expect_throw("msn-net 2\nend\n", "bad version");
+  expect_throw("msn-net 1\nwire 0.04 0.0001\nend\n", "no nodes");
+  expect_throw(
+      "msn-net 1\nwire 0.04 0.0001\nnode 0 bogus 0 0\nend\n",
+      "bad kind");
+  expect_throw(
+      "msn-net 1\nwire 0.04 0.0001\nnode 0 steiner 0 0\n"
+      "node 0 steiner 1 1\nend\n",
+      "duplicate node");
+  expect_throw(
+      "msn-net 1\nwire 0.04 0.0001\nnode 0 steiner 0 0\n"
+      "node 2 steiner 1 1\nend\n",
+      "non-dense ids");
+  expect_throw(
+      "msn-net 1\nwire 0.04 0.0001\nnode 0 terminal 0 0\nend\n",
+      "terminal without record");
+}
+
+TEST(NetFile, SolutionRejectsBadTargets) {
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = testing::TwoPinLine(tech, 1000.0, 1);
+  {
+    std::stringstream ss("repeater 0 0 1\n");  // Node 0 is a terminal.
+    EXPECT_THROW(ReadSolution(ss, tree), CheckError);
+  }
+  {
+    std::stringstream ss("width 99 2.0\n");
+    EXPECT_THROW(ReadSolution(ss, tree), CheckError);
+  }
+  {
+    std::stringstream ss("driver 7 2 20 180 36.4 0.05 72.4 x\n");
+    EXPECT_THROW(ReadSolution(ss, tree), CheckError);
+  }
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "io/report.h"
+#include "io/table.h"
+#include "core/msri.h"
+#include "netgen/netgen.h"
+#include "steiner/one_steiner.h"
+
+namespace msn {
+namespace {
+
+TEST(Netgen, DeterministicInSeed) {
+  const auto a = RandomTerminals(42, 10, 10'000);
+  const auto b = RandomTerminals(42, 10, 10'000);
+  EXPECT_EQ(a, b);
+  const auto c = RandomTerminals(43, 10, 10'000);
+  EXPECT_NE(a, c);
+}
+
+TEST(Netgen, TerminalsUniqueAndInRange) {
+  const auto pts = RandomTerminals(7, 50, 10'000);
+  EXPECT_EQ(pts.size(), 50u);
+  for (const Point& p : pts) {
+    EXPECT_GE(p.x, 0);
+    EXPECT_LE(p.x, 10'000);
+    EXPECT_GE(p.y, 0);
+    EXPECT_LE(p.y, 10'000);
+  }
+  auto sorted = pts;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Netgen, ExperimentNetStructure) {
+  const Technology tech = DefaultTechnology();
+  NetConfig cfg;
+  cfg.seed = 1;
+  cfg.num_terminals = 10;
+  const RcTree tree = BuildExperimentNet(cfg, tech);
+  tree.Validate();
+  EXPECT_EQ(tree.NumTerminals(), 10u);
+  EXPECT_FALSE(tree.InsertionPoints().empty());
+  // Average insertion spacing should be well under the 800 um bound
+  // (paper footnote 14 reports ~450 um).
+  const double avg = tree.TotalLengthUm() /
+                     static_cast<double>(tree.NumEdges());
+  EXPECT_LT(avg, 800.0);
+}
+
+TEST(Netgen, PTreeTopologyOptionWorksEndToEnd) {
+  const Technology tech = DefaultTechnology();
+  NetConfig cfg;
+  cfg.seed = 4;
+  cfg.num_terminals = 8;
+  cfg.topology = TopologyKind::kPTree;
+  const RcTree tree = BuildExperimentNet(cfg, tech);
+  tree.Validate();
+  const MsriResult r = RunMsri(tree, tech);
+  EXPECT_FALSE(r.Pareto().empty());
+  EXPECT_LT(r.MinArd()->ard_ps, r.MinCost()->ard_ps);
+}
+
+TEST(Netgen, Fig11NetMatchesPaperScale) {
+  const Technology tech = DefaultTechnology();
+  const RcTree tree = BuildFig11Net(tech);
+  EXPECT_EQ(tree.NumTerminals(), 8u);
+  // Paper: total wirelength 19.6 kum; ours within 15%.
+  EXPECT_NEAR(tree.TotalLengthUm(), 19'600.0, 3000.0);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  TablePrinter t({"net", "diam", "cost"});
+  t.AddRow({"10", "0.55", "2.41"});
+  t.AddRow({"20", "0.50", "3.10"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("net"), std::string::npos);
+  EXPECT_NE(out.find("0.55"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // 3 content lines + separator.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"1"}), CheckError);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(1.2345, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+}
+
+TEST(Report, AsciiRenderingShowsStructure) {
+  const Technology tech = DefaultTechnology();
+  NetConfig cfg;
+  cfg.seed = 2;
+  cfg.num_terminals = 5;
+  const RcTree tree = BuildExperimentNet(cfg, tech);
+  // Pick the insertion point farthest from all terminals so its '#'
+  // marker cannot share a canvas cell with a higher-priority terminal.
+  NodeId best_ip = tree.InsertionPoints()[0];
+  std::int64_t best_dist = -1;
+  for (const NodeId ip : tree.InsertionPoints()) {
+    std::int64_t nearest = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t t = 0; t < tree.NumTerminals(); ++t) {
+      nearest = std::min(nearest,
+                         ManhattanDistance(tree.Node(ip).pos,
+                                           tree.Node(tree.TerminalNode(t))
+                                               .pos));
+    }
+    if (nearest > best_dist) {
+      best_dist = nearest;
+      best_ip = ip;
+    }
+  }
+  RepeaterAssignment assign(tree.NumNodes());
+  const RcEdge& adj = tree.Edge(tree.AdjacentEdges(best_ip)[0]);
+  assign.Place(best_ip, PlacedRepeater{
+                            0, adj.a == best_ip ? adj.b : adj.a});
+  const std::string art = RenderAscii(tree, assign, 48, 24);
+  // All five terminal digits, at least one repeater marker and wires.
+  for (char d : {'0', '1', '2', '3', '4'}) {
+    EXPECT_NE(art.find(d), std::string::npos) << d;
+  }
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);
+}
+
+TEST(Netgen, BusLikeTerminalsStayNearTheSpine) {
+  const auto pts = BusLikeTerminals(5, 12, 10'000, 400);
+  EXPECT_EQ(pts.size(), 12u);
+  for (const Point& p : pts) {
+    EXPECT_GE(p.y, 5000 - 400);
+    EXPECT_LE(p.y, 5000 + 400);
+  }
+  // Deterministic in the seed.
+  EXPECT_EQ(pts, BusLikeTerminals(5, 12, 10'000, 400));
+}
+
+TEST(Netgen, ClusteredTerminalsRespectRadius) {
+  const std::size_t clusters = 3;
+  const auto pts = ClusteredTerminals(9, 12, 10'000, clusters, 600);
+  EXPECT_EQ(pts.size(), 12u);
+  // Points i, i+3, i+6, ... share a cluster: pairwise distance <= 4r
+  // (L1 across a 2r x 2r box).
+  for (std::size_t i = 0; i + clusters < pts.size(); ++i) {
+    EXPECT_LE(ManhattanDistance(pts[i], pts[i + clusters]), 4 * 600)
+        << "i=" << i;
+  }
+}
+
+TEST(Netgen, WorkloadShapesDriveThePipeline) {
+  // All three distributions must survive the full topology -> RC-tree ->
+  // optimization pipeline.
+  const Technology tech = DefaultTechnology();
+  for (int shape = 0; shape < 3; ++shape) {
+    const std::vector<Point> pts =
+        shape == 0   ? RandomTerminals(3, 6, 10'000)
+        : shape == 1 ? BusLikeTerminals(3, 6, 10'000)
+                     : ClusteredTerminals(3, 6, 10'000);
+    const SteinerTree topo = IteratedOneSteiner(pts);
+    RcTree tree = RcTree::FromSteinerTree(
+        topo, tech.wire,
+        std::vector<TerminalParams>(6, DefaultTerminal(tech)));
+    tree.AddInsertionPoints(800.0);
+    const MsriResult r = RunMsri(tree, tech);
+    EXPECT_FALSE(r.Pareto().empty()) << "shape " << shape;
+    EXPECT_LE(r.MinArd()->ard_ps, r.MinCost()->ard_ps) << "shape " << shape;
+  }
+}
+
+TEST(Report, DotExportHasExpectedStructure) {
+  const Technology tech = DefaultTechnology();
+  NetConfig cfg;
+  cfg.seed = 6;
+  cfg.num_terminals = 5;
+  const RcTree tree = BuildExperimentNet(cfg, tech);
+  RepeaterAssignment assign(tree.NumNodes());
+  const NodeId ip = tree.InsertionPoints()[0];
+  const RcEdge& adj = tree.Edge(tree.AdjacentEdges(ip)[0]);
+  assign.Place(ip, PlacedRepeater{0, adj.a == ip ? adj.b : adj.a});
+
+  std::ostringstream os;
+  WriteDot(os, tree, assign, tech);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("graph msn_net {"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"t0\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=orange"), std::string::npos);  // Repeater.
+  // One node statement per node, one edge statement per edge.
+  std::size_t edges = 0;
+  for (std::size_t pos = dot.find(" -- "); pos != std::string::npos;
+       pos = dot.find(" -- ", pos + 1)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, tree.NumEdges());
+}
+
+TEST(Report, DescribeNetMentionsCounts) {
+  const Technology tech = DefaultTechnology();
+  NetConfig cfg;
+  cfg.seed = 3;
+  cfg.num_terminals = 6;
+  const RcTree tree = BuildExperimentNet(cfg, tech);
+  std::ostringstream os;
+  DescribeNet(os, tree);
+  EXPECT_NE(os.str().find("6 terminals"), std::string::npos);
+  EXPECT_NE(os.str().find("insertion points"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,119 @@
+#include "elmore/pairwise.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/numeric.h"
+#include "common/rng.h"
+#include "core/ard.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+using testing::RandomAssignment;
+using testing::SmallRandomNet;
+
+TEST(Pairwise, MatrixMaxEqualsArd) {
+  // The ARD is by definition the maximum matrix entry.
+  const Technology tech = testing::SmallTech();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const RcTree tree = SmallRandomNet(tech, seed, 7, 8000, 800.0);
+    Rng rng(seed * 17);
+    const RepeaterAssignment assign = RandomAssignment(tree, tech, rng);
+    const DriverAssignment drivers(tree.NumTerminals());
+    const PairDelayMatrix m =
+        AllPairDelays(tree, assign, drivers, tech);
+    double max_entry = -kInf;
+    for (const double d : m.delay_ps) max_entry = std::max(max_entry, d);
+    EXPECT_NEAR(max_entry,
+                ComputeArd(tree, assign, drivers, tech).ard_ps, 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(Pairwise, RolesLeaveHolesInMatrix) {
+  const Technology tech = DefaultTechnology();
+  RcTree tree(tech.wire);
+  TerminalParams src_only = DefaultTerminal(tech);
+  src_only.is_sink = false;
+  TerminalParams snk_only = DefaultTerminal(tech);
+  snk_only.is_source = false;
+  const NodeId a = tree.AddTerminal(src_only, {0, 0});
+  const NodeId b = tree.AddTerminal(snk_only, {2000, 0});
+  tree.AddEdge(a, b, 2000.0);
+
+  const PairDelayMatrix m = AllPairDelays(
+      tree, RepeaterAssignment(tree.NumNodes()),
+      DriverAssignment(tree.NumTerminals()), tech);
+  EXPECT_GT(m.At(0, 1), 0.0);
+  EXPECT_EQ(m.At(1, 0), -kInf);  // Terminal 1 cannot drive.
+  EXPECT_EQ(m.At(0, 0), -kInf);  // Self pairs excluded.
+}
+
+TEST(Pairwise, ConstraintsReportedMostViolatedFirst) {
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = SmallRandomNet(tech, 4, 5, 7000, 900.0);
+  const RepeaterAssignment none(tree.NumNodes());
+  const DriverAssignment drivers(tree.NumTerminals());
+  const PairDelayMatrix m = AllPairDelays(tree, none, drivers, tech);
+
+  // Build constraints: one satisfied, two violated by different margins.
+  std::vector<PairConstraint> cs;
+  cs.push_back({0, 1, m.At(0, 1) + 100.0});  // Slack +100.
+  cs.push_back({1, 2, m.At(1, 2) - 50.0});   // Violated by 50.
+  cs.push_back({2, 3, m.At(2, 3) - 200.0});  // Violated by 200.
+  const auto violations =
+      CheckConstraints(tree, none, drivers, tech, cs);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].constraint.source, 2u);
+  EXPECT_NEAR(violations[0].SlackPs(), -200.0, 1e-9);
+  EXPECT_EQ(violations[1].constraint.source, 1u);
+  EXPECT_NEAR(violations[1].SlackPs(), -50.0, 1e-9);
+}
+
+TEST(Pairwise, BadConstraintsRejected) {
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = testing::TwoPinLine(tech, 1000.0, 1);
+  const RepeaterAssignment none(tree.NumNodes());
+  const DriverAssignment drivers(tree.NumTerminals());
+  EXPECT_THROW(CheckConstraints(tree, none, drivers, tech, {{0, 0, 1.0}}),
+               CheckError);
+  EXPECT_THROW(CheckConstraints(tree, none, drivers, tech, {{0, 9, 1.0}}),
+               CheckError);
+}
+
+TEST(Pairwise, ArdSpecImpliesEveryPairBound) {
+  // Problem 2.1's implicit pairwise bounds (paper Section II): if a
+  // solution meets ARD <= spec, every pair's raw path delay meets its
+  // implied bound — and conversely the critical pair's bound is tight.
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = SmallRandomNet(tech, 8, 6, 8000, 800.0);
+  const RepeaterAssignment none(tree.NumNodes());
+  const DriverAssignment drivers(tree.NumTerminals());
+  const ArdResult ard = ComputeArd(tree, none, drivers, tech);
+  const PairDelayMatrix m = AllPairDelays(tree, none, drivers, tech);
+
+  const double spec = ard.ard_ps;  // Tight spec.
+  for (std::size_t u = 0; u < tree.NumTerminals(); ++u) {
+    for (std::size_t v = 0; v < tree.NumTerminals(); ++v) {
+      if (m.At(u, v) == -kInf) continue;
+      const EffectiveTerminal eu = drivers.Resolve(tree, u);
+      const EffectiveTerminal ev = drivers.Resolve(tree, v);
+      const double pd = m.At(u, v) - eu.arrival_ps - ev.downstream_ps;
+      EXPECT_LE(pd, ArdImpliedBound(tree, u, v, spec) + 1e-9);
+    }
+  }
+  // Tightness at the critical pair.
+  const EffectiveTerminal eu = drivers.Resolve(tree, ard.critical_source);
+  const EffectiveTerminal ev = drivers.Resolve(tree, ard.critical_sink);
+  const double pd = m.At(ard.critical_source, ard.critical_sink) -
+                    eu.arrival_ps - ev.downstream_ps;
+  EXPECT_NEAR(
+      pd,
+      ArdImpliedBound(tree, ard.critical_source, ard.critical_sink, spec),
+      1e-6);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,96 @@
+#include "core/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace msn {
+namespace {
+
+struct P {
+  double cost;
+  double delay;
+};
+
+std::vector<P> Filter(std::vector<P> pts) {
+  return ParetoByCostDelay(
+      std::move(pts), [](const P& p) { return p.cost; },
+      [](const P& p) { return p.delay; });
+}
+
+TEST(Pareto, BasicFrontier) {
+  const auto out = Filter({{1, 100}, {2, 80}, {3, 90}, {4, 50}});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].cost, 1);
+  EXPECT_DOUBLE_EQ(out[1].cost, 2);
+  EXPECT_DOUBLE_EQ(out[2].cost, 4);  // (3, 90) dominated by (2, 80).
+}
+
+TEST(Pareto, EmptyAndSingleton) {
+  EXPECT_TRUE(Filter({}).empty());
+  const auto one = Filter({{5, 7}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].delay, 7);
+}
+
+TEST(Pareto, FloatingPointCostNoiseRegression) {
+  // Regression for the bug the inverter oracle exposed: two candidates
+  // with the "same" cost accumulated in different orders differ in final
+  // bits.  A keep-first-per-cost filter sorted by exact cost can keep the
+  // WORSE delay.  The shared filter must keep the better one regardless
+  // of which bit-pattern sorts first.
+  const double noisy_low = 6.0 + 3 * 1.2 - 1e-15;   // 9.5999999999999988
+  const double noisy_high = 6.0 + 1.2 * 3 + 1e-15;  // 9.6000000000000014
+  for (const auto& [first, second] :
+       {std::pair<P, P>{{noisy_low, 429.3}, {noisy_high, 422.2}},
+        std::pair<P, P>{{noisy_high, 429.3}, {noisy_low, 422.2}}}) {
+    const auto out = Filter({{8.0, 459.7}, first, second});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_NEAR(out[1].delay, 422.2, 1e-9)
+        << "kept the worse member of the eps-equal cost class";
+  }
+}
+
+TEST(Pareto, EqualCostKeepsBestDelay) {
+  const auto out = Filter({{2, 50}, {2, 40}, {2, 60}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].delay, 40);
+}
+
+TEST(Pareto, NonImprovingTailDropped) {
+  const auto out = Filter({{1, 10}, {5, 10}, {9, 9.999999999}});
+  // Within kEps of the previous delay: not an improvement.
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(Pareto, RandomizedInvariants) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<P> pts;
+    const int n = static_cast<int>(rng.UniformInt(1, 60));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({static_cast<double>(rng.UniformInt(0, 10)),
+                     rng.UniformReal(0.0, 100.0)});
+    }
+    const auto out = Filter(pts);
+    ASSERT_FALSE(out.empty());
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      EXPECT_GT(out[i].cost, out[i - 1].cost);
+      EXPECT_LT(out[i].delay, out[i - 1].delay);
+    }
+    // Every input point is covered by some frontier point.
+    for (const P& p : pts) {
+      bool covered = false;
+      for (const P& f : out) {
+        if (f.cost <= p.cost + 1e-9 && f.delay <= p.delay + 1e-9) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "(" << p.cost << ", " << p.delay << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,227 @@
+#include "rctree/rctree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "rctree/rooted.h"
+#include "steiner/one_steiner.h"
+#include "tech/tech.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+Technology Tech() { return DefaultTechnology(); }
+
+TEST(RcTree, EdgeParasiticsDeriveFromWireParams) {
+  const Technology tech = Tech();
+  RcTree tree(tech.wire);
+  const NodeId a = tree.AddTerminal(DefaultTerminal(tech), {0, 0});
+  const NodeId b = tree.AddTerminal(DefaultTerminal(tech), {1000, 0});
+  const std::size_t e = tree.AddEdge(a, b, 1000.0);
+  EXPECT_DOUBLE_EQ(tree.Edge(e).res, 1000.0 * tech.wire.res_per_um);
+  EXPECT_DOUBLE_EQ(tree.Edge(e).cap, 1000.0 * tech.wire.cap_per_um);
+  EXPECT_DOUBLE_EQ(tree.TotalLengthUm(), 1000.0);
+}
+
+TEST(RcTree, FromSteinerKeepsTerminalOrdinals) {
+  const Technology tech = Tech();
+  const std::vector<Point> pts{{0, 5}, {10, 5}, {5, 0}, {5, 10}};
+  const SteinerTree st = IteratedOneSteiner(pts);
+  std::vector<TerminalParams> params(4, DefaultTerminal(tech));
+  params[2].arrival_ps = 42.0;  // Marker.
+  const RcTree tree = RcTree::FromSteinerTree(st, tech.wire, params);
+  EXPECT_EQ(tree.NumTerminals(), 4u);
+  for (std::size_t t = 0; t < 4; ++t) {
+    const NodeId v = tree.TerminalNode(t);
+    EXPECT_EQ(tree.Node(v).kind, NodeKind::kTerminal);
+    EXPECT_EQ(tree.Node(v).terminal_index, t);
+    EXPECT_EQ(tree.Node(v).pos, pts[t]);
+  }
+  EXPECT_DOUBLE_EQ(tree.Terminal(2).arrival_ps, 42.0);
+}
+
+TEST(RcTree, NonLeafTerminalGetsZeroLengthStub) {
+  const Technology tech = Tech();
+  // A path a - b - c where b is a terminal with degree 2.
+  SteinerTree st;
+  st.points = {{0, 0}, {10, 0}, {20, 0}};
+  st.num_terminals = 3;
+  st.edges = {{0, 1}, {1, 2}};
+  const RcTree tree = RcTree::FromSteinerTree(
+      st, tech.wire, std::vector<TerminalParams>(3, DefaultTerminal(tech)));
+  tree.Validate();
+  // Terminal 1 must be a leaf; an extra Steiner node carries the path.
+  const NodeId t1 = tree.TerminalNode(1);
+  EXPECT_EQ(tree.Degree(t1), 1u);
+  EXPECT_EQ(tree.NumNodes(), 4u);
+  // Its stub edge has zero length.
+  const RcEdge& stub = tree.Edge(tree.AdjacentEdges(t1)[0]);
+  EXPECT_DOUBLE_EQ(stub.length_um, 0.0);
+}
+
+TEST(RcTree, InsertionPointSpacingGuarantee) {
+  const Technology tech = Tech();
+  for (const double spacing : {300.0, 450.0, 800.0}) {
+    RcTree tree = testing::SmallRandomNet(tech, 11, 8, 9000, spacing);
+    for (const RcEdge& e : tree.Edges()) {
+      EXPECT_LE(e.length_um, spacing + 1e-9);
+    }
+    // Every insertion point has degree 2 (validated) and every original
+    // segment carries at least one: equivalently no edge connects two
+    // non-insertion nodes.
+    for (const RcEdge& e : tree.Edges()) {
+      const bool a_ip = tree.Node(e.a).kind == NodeKind::kInsertion;
+      const bool b_ip = tree.Node(e.b).kind == NodeKind::kInsertion;
+      EXPECT_TRUE(a_ip || b_ip);
+    }
+  }
+}
+
+TEST(RcTree, InsertionPointCountMatchesCeilRule) {
+  const Technology tech = Tech();
+  RcTree tree(tech.wire);
+  const NodeId a = tree.AddTerminal(DefaultTerminal(tech), {0, 0});
+  const NodeId b = tree.AddTerminal(DefaultTerminal(tech), {1700, 0});
+  tree.AddEdge(a, b, 1700.0);
+  tree.AddInsertionPoints(800.0);
+  // ceil(1700/800) - 1 = 2 points -> 3 segments of 566.67 um.
+  EXPECT_EQ(tree.InsertionPoints().size(), 2u);
+  EXPECT_EQ(tree.NumEdges(), 3u);
+  for (const RcEdge& e : tree.Edges()) {
+    EXPECT_NEAR(e.length_um, 1700.0 / 3.0, 1e-9);
+  }
+}
+
+TEST(RcTree, AtLeastOnePerWireEvenWhenShort) {
+  const Technology tech = Tech();
+  RcTree tree(tech.wire);
+  const NodeId a = tree.AddTerminal(DefaultTerminal(tech), {0, 0});
+  const NodeId b = tree.AddTerminal(DefaultTerminal(tech), {100, 0});
+  tree.AddEdge(a, b, 100.0);
+  tree.AddInsertionPoints(800.0, /*at_least_one_per_wire=*/true);
+  EXPECT_EQ(tree.InsertionPoints().size(), 1u);
+}
+
+TEST(RcTree, NoForcedInsertionWhenDisabled) {
+  const Technology tech = Tech();
+  RcTree tree(tech.wire);
+  const NodeId a = tree.AddTerminal(DefaultTerminal(tech), {0, 0});
+  const NodeId b = tree.AddTerminal(DefaultTerminal(tech), {100, 0});
+  tree.AddEdge(a, b, 100.0);
+  tree.AddInsertionPoints(800.0, /*at_least_one_per_wire=*/false);
+  EXPECT_TRUE(tree.InsertionPoints().empty());
+}
+
+TEST(RcTree, AddInsertionPointsTwiceThrows) {
+  const Technology tech = Tech();
+  RcTree tree = testing::TwoPinLine(tech, 1000.0, 1);
+  EXPECT_THROW(tree.AddInsertionPoints(500.0), CheckError);
+}
+
+TEST(RcTree, ValidateRejectsNonLeafTerminalBuiltManually) {
+  const Technology tech = Tech();
+  RcTree tree(tech.wire);
+  const NodeId a = tree.AddTerminal(DefaultTerminal(tech), {0, 0});
+  const NodeId b = tree.AddTerminal(DefaultTerminal(tech), {10, 0});
+  const NodeId c = tree.AddTerminal(DefaultTerminal(tech), {20, 0});
+  tree.AddEdge(a, b, 10.0);
+  tree.AddEdge(b, c, 10.0);
+  EXPECT_THROW(tree.Validate(), CheckError);
+}
+
+TEST(RcTree, ValidateRejectsDisconnected) {
+  const Technology tech = Tech();
+  RcTree tree(tech.wire);
+  tree.AddTerminal(DefaultTerminal(tech), {0, 0});
+  tree.AddTerminal(DefaultTerminal(tech), {10, 0});
+  EXPECT_THROW(tree.Validate(), CheckError);
+}
+
+TEST(RcTree, ValidateRejectsWrongDegreeInsertionPoint) {
+  const Technology tech = Tech();
+  RcTree tree(tech.wire);
+  const NodeId a = tree.AddTerminal(DefaultTerminal(tech), {0, 0});
+  const NodeId ip = tree.AddNode(NodeKind::kInsertion, {5, 0});
+  tree.AddEdge(a, ip, 5.0);
+  EXPECT_THROW(tree.Validate(), CheckError);
+}
+
+TEST(RootedTree, ParentsAndPreorder) {
+  const Technology tech = Tech();
+  const RcTree tree = testing::TwoPinLine(tech, 1000.0, 2);
+  const NodeId root = tree.TerminalNode(0);
+  const RootedTree rooted(tree, root);
+  EXPECT_EQ(rooted.Root(), root);
+  EXPECT_EQ(rooted.Parent(root), kNoNode);
+  EXPECT_EQ(rooted.Preorder().size(), tree.NumNodes());
+  EXPECT_EQ(rooted.Preorder().front(), root);
+  // Every non-root node's parent appears earlier in preorder.
+  std::vector<std::size_t> pos(tree.NumNodes());
+  for (std::size_t i = 0; i < rooted.Preorder().size(); ++i) {
+    pos[rooted.Preorder()[i]] = i;
+  }
+  for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+    if (v == root) continue;
+    EXPECT_LT(pos[rooted.Parent(v)], pos[v]);
+  }
+}
+
+TEST(RootedTree, ParentEdgeAttributes) {
+  const Technology tech = Tech();
+  const RcTree tree = testing::TwoPinLine(tech, 900.0, 1);
+  const RootedTree rooted(tree, tree.TerminalNode(0));
+  const NodeId ip = tree.InsertionPoints()[0];
+  EXPECT_NEAR(rooted.ParentLengthUm(ip), 450.0, 1e-9);
+  EXPECT_NEAR(rooted.ParentRes(ip), 450.0 * tech.wire.res_per_um, 1e-12);
+  EXPECT_NEAR(rooted.ParentCap(ip), 450.0 * tech.wire.cap_per_um, 1e-12);
+}
+
+TEST(Assignment, CostAndCount) {
+  const Technology tech = testing::TwoRepeaterTech();
+  const RcTree tree = testing::TwoPinLine(tech, 2000.0, 3);
+  RepeaterAssignment assign(tree.NumNodes());
+  EXPECT_EQ(assign.CountPlaced(), 0u);
+  EXPECT_DOUBLE_EQ(assign.Cost(tech), 0.0);
+  const NodeId ip0 = tree.InsertionPoints()[0];
+  const NodeId ip1 = tree.InsertionPoints()[1];
+  assign.Place(ip0, PlacedRepeater{0, tree.TerminalNode(0)});
+  assign.Place(ip1, PlacedRepeater{1, ip0});
+  EXPECT_EQ(assign.CountPlaced(), 2u);
+  EXPECT_DOUBLE_EQ(assign.Cost(tech), 2.0 + 4.0);
+  assign.Remove(ip0);
+  EXPECT_EQ(assign.CountPlaced(), 1u);
+}
+
+TEST(Assignment, ResolveOrientationByNeighbor) {
+  const Technology tech = testing::AsymmetricTech();
+  const RcTree tree = testing::TwoPinLine(tech, 1000.0, 1);
+  const NodeId ip = tree.InsertionPoints()[0];
+  const NodeId t0 = tree.TerminalNode(0);
+  const NodeId t1 = tree.TerminalNode(1);
+  RepeaterAssignment assign(tree.NumNodes());
+  assign.Place(ip, PlacedRepeater{0, t0});
+  const ResolvedRepeater r = assign.Resolve(ip, tech);
+  EXPECT_DOUBLE_EQ(r.CapToward(t0), tech.repeaters[0].cap_a);
+  EXPECT_DOUBLE_EQ(r.CapToward(t1), tech.repeaters[0].cap_b);
+  EXPECT_DOUBLE_EQ(r.IntrinsicFrom(t0), tech.repeaters[0].intrinsic_ab);
+  EXPECT_DOUBLE_EQ(r.IntrinsicFrom(t1), tech.repeaters[0].intrinsic_ba);
+  EXPECT_DOUBLE_EQ(r.ResFrom(t0), tech.repeaters[0].res_ab);
+}
+
+TEST(Assignment, DriverAssignmentResolution) {
+  const Technology tech = Tech();
+  const RcTree tree = testing::TwoPinLine(tech, 1000.0, 1);
+  DriverAssignment drivers(tree.NumTerminals());
+  const auto lib = DriverSizingLibrary(tech, {1.0, 2.0});
+  drivers.Choose(1, lib[3]);  // 2x/2x.
+  const EffectiveTerminal e0 = drivers.Resolve(tree, 0);
+  const EffectiveTerminal e1 = drivers.Resolve(tree, 1);
+  EXPECT_DOUBLE_EQ(e0.driver_res, DefaultBuffer1X().output_res);
+  EXPECT_DOUBLE_EQ(e1.driver_res, DefaultBuffer1X().output_res / 2.0);
+  EXPECT_DOUBLE_EQ(e1.pin_cap, DefaultBuffer1X().input_cap * 2.0);
+  EXPECT_DOUBLE_EQ(drivers.Cost(tree), 2.0 + 4.0);
+}
+
+}  // namespace
+}  // namespace msn

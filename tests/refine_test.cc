@@ -1,0 +1,92 @@
+#include "flow/refine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/ard.h"
+#include "netgen/netgen.h"
+#include "steiner/one_steiner.h"
+#include "steiner/prim_dijkstra.h"
+#include "steiner/spanning.h"
+
+namespace msn {
+namespace {
+
+std::vector<TerminalParams> Params(const Technology& tech, std::size_t n) {
+  return std::vector<TerminalParams>(n, DefaultTerminal(tech));
+}
+
+TEST(Refine, NeverWorsensTheObjective) {
+  const Technology tech = DefaultTechnology();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::vector<Point> pts = RandomTerminals(seed, 8, 8000);
+    const SteinerTree initial = RectilinearMst(pts);
+    const RefineResult r =
+        RefineTopologyForArd(initial, tech, Params(tech, 8));
+    EXPECT_LE(r.final_ard_ps, r.initial_ard_ps + 1e-9) << "seed " << seed;
+    r.tree.Validate();
+    EXPECT_EQ(r.tree.num_terminals, 8u);
+    // Terminal coordinates untouched.
+    for (std::size_t t = 0; t < 8; ++t) {
+      EXPECT_EQ(r.tree.points[t], pts[t]);
+    }
+  }
+}
+
+TEST(Refine, ResultScoreIsConsistent) {
+  const Technology tech = DefaultTechnology();
+  const std::vector<Point> pts = RandomTerminals(3, 7, 6000);
+  const SteinerTree initial = RectilinearMst(pts);
+  const RefineResult r =
+      RefineTopologyForArd(initial, tech, Params(tech, 7));
+  const RcTree rc =
+      RcTree::FromSteinerTree(r.tree, tech.wire, Params(tech, 7));
+  EXPECT_NEAR(ComputeArd(rc, tech).ard_ps, r.final_ard_ps, 1e-9);
+}
+
+TEST(Refine, ImprovesABadTopology) {
+  // A Prim-Dijkstra c=1 tree rooted at a corner terminal is a star of
+  // long direct edges — heavily suboptimal for the symmetric multisource
+  // diameter.  Refinement must find improving re-attachments.
+  const Technology tech = DefaultTechnology();
+  const std::vector<Point> pts = RandomTerminals(5, 10, 10'000);
+  const SteinerTree star = PrimDijkstra(pts, 0, 1.0);
+  const RefineResult r =
+      RefineTopologyForArd(star, tech, Params(tech, 10));
+  EXPECT_LT(r.final_ard_ps, r.initial_ard_ps);
+  EXPECT_GE(r.moves_accepted, 1u);
+}
+
+TEST(Refine, LocalOptimumOfGoodTopologyMovesLittle) {
+  // 1-Steiner trees are already strong; refinement should accept at most
+  // a few moves and never regress.
+  const Technology tech = DefaultTechnology();
+  const std::vector<Point> pts = RandomTerminals(11, 9, 9000);
+  const SteinerTree good = IteratedOneSteiner(pts);
+  const RefineResult r =
+      RefineTopologyForArd(good, tech, Params(tech, 9));
+  EXPECT_LE(r.final_ard_ps, r.initial_ard_ps + 1e-9);
+  EXPECT_LE(r.moves_accepted, 5u);
+}
+
+TEST(Refine, MoveBudgetRespected) {
+  const Technology tech = DefaultTechnology();
+  const std::vector<Point> pts = RandomTerminals(5, 10, 10'000);
+  const SteinerTree star = PrimDijkstra(pts, 0, 1.0);
+  RefineOptions opt;
+  opt.max_moves = 1;
+  const RefineResult r =
+      RefineTopologyForArd(star, tech, Params(tech, 10), opt);
+  EXPECT_LE(r.moves_accepted, 1u);
+}
+
+TEST(Refine, RejectsMismatchedParams) {
+  const Technology tech = DefaultTechnology();
+  const std::vector<Point> pts = RandomTerminals(2, 5, 4000);
+  const SteinerTree tree = RectilinearMst(pts);
+  EXPECT_THROW(RefineTopologyForArd(tree, tech, Params(tech, 4)),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,61 @@
+// Tests for the human-facing reporting paths (DescribeSolution content,
+// driver-option naming) that the examples and CLI rely on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/ard.h"
+#include "core/msri.h"
+#include "io/report.h"
+#include "netgen/netgen.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+TEST(Reporting, DescribeSolutionListsRepeatersAndDrivers) {
+  const Technology tech = DefaultTechnology();
+  NetConfig cfg;
+  cfg.seed = 8;
+  cfg.num_terminals = 6;
+  const RcTree tree = BuildExperimentNet(cfg, tech);
+
+  MsriOptions opt;
+  opt.size_drivers = true;
+  opt.sizing_library = DriverSizingLibrary(tech, {1.0, 3.0});
+  const MsriResult r = RunMsri(tree, tech, opt);
+  const TradeoffPoint* best = r.MinArd();
+  ASSERT_NE(best, nullptr);
+  ASSERT_GE(best->num_repeaters, 1u);
+
+  const ArdResult ard =
+      ComputeArd(tree, best->repeaters, best->drivers, tech);
+  std::ostringstream os;
+  DescribeSolution(os, tree, tech, *best, ard);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("repeaters placed: "), std::string::npos);
+  EXPECT_NE(out.find("buf1x-pair"), std::string::npos);
+  EXPECT_NE(out.find("critical source terminal"), std::string::npos);
+  // At least one sized driver should be reported with a clean name.
+  bool has_driver_line = out.find("driver option") != std::string::npos;
+  if (has_driver_line) {
+    EXPECT_NE(out.find("x/"), std::string::npos);
+    EXPECT_EQ(out.find("1.000000"), std::string::npos)
+        << "driver names must not carry raw double formatting";
+  }
+}
+
+TEST(Reporting, SizingLibraryNamesAreClean) {
+  const auto lib = DriverSizingLibrary(DefaultTechnology(), {1.0, 2.5});
+  ASSERT_EQ(lib.size(), 4u);
+  EXPECT_EQ(lib[0].name, "1x/1x");
+  EXPECT_EQ(lib[1].name, "1x/2.5x");
+  EXPECT_EQ(lib[3].name, "2.5x/2.5x");
+}
+
+TEST(Reporting, ScaledBufferNameIsClean) {
+  EXPECT_EQ(ScaledBuffer(DefaultBuffer1X(), 3.0).name, "buf1x-3x");
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,113 @@
+// Failure injection and API-contract tests across modules: malformed
+// structures must be rejected loudly, and debug hooks must behave.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/ard.h"
+#include "core/msri.h"
+#include "elmore/caps.h"
+#include "rctree/rooted.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+using testing::SmallTech;
+using testing::TwoPinLine;
+
+TEST(Robustness, RepeaterOnNonInsertionNodeRejected) {
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 1000.0, 1);
+  RepeaterAssignment assign(tree.NumNodes());
+  // Node 0 is a terminal; placing a repeater there must be caught by the
+  // capacitance engine.
+  assign.Place(tree.TerminalNode(0), PlacedRepeater{0, 1});
+  EXPECT_THROW(
+      ComputeArd(tree, assign, DriverAssignment(tree.NumTerminals()), tech),
+      CheckError);
+}
+
+TEST(Robustness, OrientationMustNameANeighbor) {
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 1000.0, 2);
+  RepeaterAssignment assign(tree.NumNodes());
+  const NodeId ip = tree.InsertionPoints()[0];
+  // Terminal 1 is not adjacent to the first insertion point.
+  assign.Place(ip, PlacedRepeater{0, tree.TerminalNode(1)});
+  EXPECT_THROW(
+      ComputeArd(tree, assign, DriverAssignment(tree.NumTerminals()), tech),
+      CheckError);
+}
+
+TEST(Robustness, RepeaterIndexOutOfLibraryRange) {
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 1000.0, 1);
+  RepeaterAssignment assign(tree.NumNodes());
+  const NodeId ip = tree.InsertionPoints()[0];
+  assign.Place(ip, PlacedRepeater{99, tree.TerminalNode(0)});
+  EXPECT_THROW(assign.Cost(tech), CheckError);
+  EXPECT_THROW(assign.Resolve(ip, tech), CheckError);
+}
+
+TEST(Robustness, MismatchedAssignmentSizesRejected) {
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 1000.0, 1);
+  // Assignment sized for a different tree (this one has 3 nodes).
+  const RepeaterAssignment wrong(2);
+  EXPECT_THROW(
+      ComputeArd(tree, wrong, DriverAssignment(tree.NumTerminals()), tech),
+      CheckError);
+  const DriverAssignment wrong_drivers(7);
+  EXPECT_THROW(ComputeArd(tree, RepeaterAssignment(tree.NumNodes()),
+                          wrong_drivers, tech),
+               CheckError);
+}
+
+TEST(Robustness, RootedTreeRejectsBadRoot) {
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 1000.0, 1);
+  EXPECT_THROW(RootedTree(tree, 999), CheckError);
+}
+
+TEST(Robustness, ObserverSeesEveryNonRootNodeOnce) {
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 3000.0, 3);
+  std::vector<int> seen(tree.NumNodes(), 0);
+  MsriOptions opt;
+  opt.set_observer = [&](NodeId v, const SolutionSet& set) {
+    ASSERT_LT(v, tree.NumNodes());
+    ++seen[v];
+    EXPECT_FALSE(set.empty());
+    for (const SolutionPtr& s : set) {
+      EXPECT_TRUE(s->arr.IsConvexNonDecreasing(1e-6));
+      EXPECT_TRUE(s->diam.IsConvexNonDecreasing(1e-6));
+      EXPECT_FALSE(s->valid.Empty());
+    }
+  };
+  RunMsri(tree, tech, opt);
+  const NodeId root = tree.TerminalNode(0);
+  for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+    EXPECT_EQ(seen[v], v == root ? 0 : 1) << "node " << v;
+  }
+}
+
+TEST(Robustness, CheckMacrosCarryContext) {
+  try {
+    MSN_CHECK_MSG(false, "ctx " << 42);
+    FAIL();
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ctx 42"), std::string::npos);
+    EXPECT_NE(what.find("robustness_test.cc"), std::string::npos);
+  }
+}
+
+TEST(Robustness, TechnologyValidationInRunMsri) {
+  Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 1000.0, 1);
+  tech.wire.res_per_um = -1.0;
+  EXPECT_THROW(RunMsri(tree, tech), CheckError);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,133 @@
+// Tests for the slew-control extension: bounding every unbuffered
+// region's wire diameter (MsriOptions::max_stage_length_um).
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.h"
+#include "core/ard.h"
+#include "core/msri.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+using testing::SmallRandomNet;
+using testing::SmallTech;
+using testing::TwoPinLine;
+
+TEST(SlewControl, FeasibilityCheckerBasics) {
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 4000.0, 3);  // 4 x 1000 um pieces.
+  RepeaterAssignment none(tree.NumNodes());
+  EXPECT_TRUE(StageLengthFeasible(tree, none, 4000.0));
+  EXPECT_FALSE(StageLengthFeasible(tree, none, 3999.0));
+  EXPECT_TRUE(StageLengthFeasible(tree, none, 0.0));  // Disabled.
+
+  // A repeater at the middle halves the worst region.
+  RepeaterAssignment mid(tree.NumNodes());
+  const NodeId ip = tree.InsertionPoints()[1];
+  const RcEdge& adj = tree.Edge(tree.AdjacentEdges(ip)[0]);
+  mid.Place(ip, PlacedRepeater{0, adj.a == ip ? adj.b : adj.a});
+  EXPECT_TRUE(StageLengthFeasible(tree, mid, 2000.0));
+  EXPECT_FALSE(StageLengthFeasible(tree, mid, 1999.0));
+}
+
+TEST(SlewControl, FeasibilityCheckerBranches) {
+  // Star with three 1500 um arms: region diameter = 3000 um through the
+  // centre.
+  const Technology tech = SmallTech();
+  RcTree tree(tech.wire);
+  const NodeId s = tree.AddNode(NodeKind::kSteiner, {0, 0});
+  std::vector<NodeId> ips;
+  for (int i = 0; i < 3; ++i) {
+    const NodeId t = tree.AddTerminal(DefaultTerminal(tech), {1500, 0});
+    const NodeId ip = tree.AddNode(NodeKind::kInsertion, {750, 0});
+    tree.AddEdge(s, ip, 750.0);
+    tree.AddEdge(ip, t, 750.0);
+    ips.push_back(ip);
+  }
+  RepeaterAssignment none(tree.NumNodes());
+  EXPECT_TRUE(StageLengthFeasible(tree, none, 3000.0));
+  EXPECT_FALSE(StageLengthFeasible(tree, none, 2999.0));
+  // Repeaters on two arms shrink the worst region to one full arm plus
+  // a buffered arm's stub: 1500 + 750 = 2250.
+  RepeaterAssignment two(tree.NumNodes());
+  two.Place(ips[0], PlacedRepeater{0, s});
+  two.Place(ips[1], PlacedRepeater{0, s});
+  EXPECT_TRUE(StageLengthFeasible(tree, two, 2250.0));
+  EXPECT_FALSE(StageLengthFeasible(tree, two, 2249.0));
+}
+
+TEST(SlewControl, EveryParetoPointMeetsTheBound) {
+  const Technology tech = SmallTech();
+  const RcTree tree = SmallRandomNet(tech, 2, 8, 9000, 800.0);
+  MsriOptions opt;
+  opt.max_stage_length_um = 2500.0;
+  const MsriResult r = RunMsri(tree, tech, opt);
+  ASSERT_FALSE(r.Pareto().empty());
+  for (const TradeoffPoint& p : r.Pareto()) {
+    EXPECT_TRUE(StageLengthFeasible(tree, p.repeaters, 2500.0))
+        << "cost " << p.cost;
+    EXPECT_NEAR(ComputeArd(tree, p.repeaters, p.drivers, tech).ard_ps,
+                p.ard_ps, 1e-6);
+  }
+  // A tight bound forces repeaters even into the cheapest solution.
+  EXPECT_GE(r.MinCost()->num_repeaters, 1u);
+}
+
+TEST(SlewControl, TightBoundRaisesMinimumCost) {
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 9000.0, 8);
+  const double unconstrained_cost = RunMsri(tree, tech).MinCost()->cost;
+  MsriOptions opt;
+  opt.max_stage_length_um = 2000.0;
+  const MsriResult r = RunMsri(tree, tech, opt);
+  ASSERT_FALSE(r.Pareto().empty());
+  EXPECT_GT(r.MinCost()->cost, unconstrained_cost);
+  // 9 mm of wire with 2 mm stages needs at least 4 repeaters.
+  EXPECT_GE(r.MinCost()->num_repeaters, 4u);
+}
+
+TEST(SlewControl, InfeasibleBoundYieldsEmptyFrontier) {
+  // Insertion spacing ~1000 um: no assignment can make regions shorter
+  // than one segment.
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 4000.0, 3);
+  MsriOptions opt;
+  opt.max_stage_length_um = 500.0;
+  const MsriResult r = RunMsri(tree, tech, opt);
+  EXPECT_TRUE(r.Pareto().empty());
+  EXPECT_EQ(r.MinArd(), nullptr);
+  EXPECT_EQ(r.MinCostFeasible(1e12), nullptr);
+}
+
+/// Oracle: the slew-constrained DP still matches exhaustive enumeration.
+class SlewOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SlewOracle, MatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const Technology tech = SmallTech();
+  const RcTree tree = SmallRandomNet(tech, seed, 4, 4000, 1600.0);
+  if (tree.InsertionPoints().size() > 10) GTEST_SKIP();
+
+  for (const double bound : {1500.0, 2500.0, 4000.0}) {
+    MsriOptions opt;
+    opt.max_stage_length_um = bound;
+    const MsriResult dp = RunMsri(tree, tech, opt);
+
+    BruteForceOptions bopt;
+    bopt.max_stage_length_um = bound;
+    const BruteForceResult brute = BruteForceMsri(tree, tech, bopt);
+    ASSERT_EQ(dp.Pareto().size(), brute.pareto.size())
+        << "seed " << seed << " bound " << bound;
+    for (std::size_t i = 0; i < dp.Pareto().size(); ++i) {
+      EXPECT_NEAR(dp.Pareto()[i].cost, brute.pareto[i].cost, 1e-9);
+      EXPECT_NEAR(dp.Pareto()[i].ard_ps, brute.pareto[i].ard_ps, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlewOracle,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "netgen/netgen.h"
+#include "steiner/one_steiner.h"
+#include "steiner/prim_dijkstra.h"
+#include "steiner/ptree.h"
+#include "steiner/spanning.h"
+#include "steiner/topology.h"
+
+namespace msn {
+namespace {
+
+TEST(Mst, SinglePoint) {
+  const SteinerTree t = RectilinearMst({{5, 5}});
+  EXPECT_EQ(t.points.size(), 1u);
+  EXPECT_TRUE(t.edges.empty());
+  t.Validate();
+}
+
+TEST(Mst, TwoPoints) {
+  const SteinerTree t = RectilinearMst({{0, 0}, {3, 4}});
+  ASSERT_EQ(t.edges.size(), 1u);
+  EXPECT_EQ(t.TotalLength(), 7);
+}
+
+TEST(Mst, KnownFourPointSquare) {
+  // Unit square scaled by 10: MST = 3 sides.
+  const SteinerTree t =
+      RectilinearMst({{0, 0}, {10, 0}, {0, 10}, {10, 10}});
+  EXPECT_EQ(t.TotalLength(), 30);
+  t.Validate();
+}
+
+TEST(Mst, CollinearChain) {
+  const SteinerTree t = RectilinearMst({{0, 0}, {10, 0}, {4, 0}, {7, 0}});
+  EXPECT_EQ(t.TotalLength(), 10);
+}
+
+TEST(Mst, EmptyThrows) {
+  EXPECT_THROW(RectilinearMstEdges({}), CheckError);
+}
+
+TEST(SteinerTreeContainer, ValidateRejectsCycle) {
+  SteinerTree t;
+  t.points = {{0, 0}, {1, 0}, {0, 1}};
+  t.num_terminals = 3;
+  t.edges = {{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_THROW(t.Validate(), CheckError);
+}
+
+TEST(SteinerTreeContainer, ValidateRejectsWrongEdgeCount) {
+  SteinerTree t;
+  t.points = {{0, 0}, {1, 0}, {0, 1}};
+  t.num_terminals = 3;
+  t.edges = {{0, 1}};
+  EXPECT_THROW(t.Validate(), CheckError);
+}
+
+TEST(SteinerTreeContainer, ValidateRejectsSelfLoop) {
+  SteinerTree t;
+  t.points = {{0, 0}, {1, 0}};
+  t.num_terminals = 2;
+  t.edges = {{0, 0}};
+  EXPECT_THROW(t.Validate(), CheckError);
+}
+
+TEST(OneSteiner, ClassicCrossGainsSteinerPoint) {
+  // Four points in a plus-shape: the centre Hanan point saves length.
+  // Terminals: (0,5),(10,5),(5,0),(5,10). MST = 3 * 10 = 30;
+  // star through (5,5) = 20.
+  const std::vector<Point> t{{0, 5}, {10, 5}, {5, 0}, {5, 10}};
+  EXPECT_EQ(RectilinearMstLength(t), 30);
+  const SteinerTree st = IteratedOneSteiner(t);
+  EXPECT_EQ(st.TotalLength(), 20);
+  EXPECT_EQ(st.points.size(), 5u);  // 4 terminals + centre.
+  EXPECT_EQ(st.points[4], (Point{5, 5}));
+}
+
+TEST(OneSteiner, LShapedTripleGainsCorner) {
+  // (0,0), (10,0) ... wait-free simple case: (0,0),(8,6),(8,0) is already
+  // rectilinearly optimal through the corner (8,0) which is a terminal.
+  const std::vector<Point> t{{0, 0}, {8, 6}, {8, 0}};
+  const SteinerTree st = IteratedOneSteiner(t);
+  EXPECT_EQ(st.TotalLength(), 14);
+}
+
+TEST(OneSteiner, ThreePointCornerSteiner) {
+  // (0,0),(10,2),(4,8): a Steiner point can save wirelength vs MST.
+  const std::vector<Point> t{{0, 0}, {10, 2}, {4, 8}};
+  const SteinerTree st = IteratedOneSteiner(t);
+  EXPECT_LE(st.TotalLength(), RectilinearMstLength(t));
+  // Optimal RSMT for 3 points is the "median" star: length =
+  // (xmax-xmin) + (ymax-ymin) = 10 + 8 = 18.
+  EXPECT_EQ(st.TotalLength(), 18);
+  st.Validate();
+}
+
+TEST(OneSteiner, NeverWorseThanMst) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::vector<Point> t = RandomTerminals(seed, 9, 1000);
+    const SteinerTree st = IteratedOneSteiner(t);
+    EXPECT_LE(st.TotalLength(), RectilinearMstLength(t))
+        << "seed " << seed;
+    st.Validate();
+  }
+}
+
+TEST(OneSteiner, TerminalsKeptInOrder) {
+  const std::vector<Point> t = RandomTerminals(7, 12, 2000);
+  const SteinerTree st = IteratedOneSteiner(t);
+  ASSERT_GE(st.points.size(), t.size());
+  EXPECT_EQ(st.num_terminals, t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(st.points[i], t[i]) << "terminal " << i << " moved";
+  }
+}
+
+TEST(OneSteiner, NoUselessSteinerPoints) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const std::vector<Point> t = RandomTerminals(seed, 8, 1500);
+    const SteinerTree st = IteratedOneSteiner(t);
+    const std::vector<std::size_t> deg = st.Degrees();
+    for (std::size_t i = st.num_terminals; i < st.points.size(); ++i) {
+      EXPECT_GE(deg[i], 3u) << "seed " << seed << " Steiner point " << i;
+    }
+  }
+}
+
+TEST(OneSteiner, MaxSteinerPointsRespected) {
+  const std::vector<Point> t = RandomTerminals(3, 10, 2000);
+  OneSteinerOptions opt;
+  opt.max_steiner_points = 1;
+  const SteinerTree st = IteratedOneSteiner(t, opt);
+  EXPECT_LE(st.points.size(), t.size() + 1);
+}
+
+/// Property sweep: structural invariants over random instances.
+class SteinerPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SteinerPropertyTest, TreeInvariants) {
+  const std::uint64_t seed = GetParam();
+  for (const std::size_t n : {2u, 5u, 10u, 20u}) {
+    const std::vector<Point> t = RandomTerminals(seed, n, 10000);
+    const SteinerTree st = IteratedOneSteiner(t);
+    st.Validate();
+    EXPECT_EQ(st.num_terminals, n);
+    EXPECT_EQ(st.edges.size(), st.points.size() - 1);
+    // Half-perimeter of the bounding box is a Steiner lower bound.
+    EXPECT_GE(st.TotalLength(),
+              ComputeBoundingBox(t).HalfPerimeter() * (n > 1 ? 1 : 0));
+    EXPECT_LE(st.TotalLength(), RectilinearMstLength(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SteinerPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(PrimDijkstra, CZeroIsMst) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::vector<Point> t = RandomTerminals(seed, 12, 5000);
+    const SteinerTree pd = PrimDijkstra(t, 0, 0.0);
+    EXPECT_EQ(pd.TotalLength(), RectilinearMstLength(t)) << "seed " << seed;
+    pd.Validate();
+  }
+}
+
+TEST(PrimDijkstra, COneIsShortestPathStar) {
+  const std::vector<Point> t = RandomTerminals(3, 10, 5000);
+  const SteinerTree pd = PrimDijkstra(t, 0, 1.0);
+  // Under a metric, the Dijkstra tree from the root is the star: every
+  // terminal's tree path equals its direct distance.
+  std::vector<std::int64_t> pathlen(t.size(), -1);
+  // Tree path lengths by BFS over the edge list.
+  std::vector<std::vector<std::size_t>> adj(t.size());
+  for (const SteinerEdge& e : pd.edges) {
+    adj[e.a].push_back(e.b);
+    adj[e.b].push_back(e.a);
+  }
+  std::vector<std::size_t> stack{0};
+  pathlen[0] = 0;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (const std::size_t w : adj[v]) {
+      if (pathlen[w] != -1) continue;
+      pathlen[w] =
+          pathlen[v] + ManhattanDistance(pd.points[v], pd.points[w]);
+      stack.push_back(w);
+    }
+  }
+  for (std::size_t v = 1; v < t.size(); ++v) {
+    EXPECT_EQ(pathlen[v], ManhattanDistance(t[0], t[v])) << "terminal " << v;
+  }
+}
+
+TEST(PrimDijkstra, TradeoffMonotoneAtEndpoints) {
+  const std::vector<Point> t = RandomTerminals(9, 15, 8000);
+  const SteinerTree mst = PrimDijkstra(t, 0, 0.0);
+  const SteinerTree spt = PrimDijkstra(t, 0, 1.0);
+  const SteinerTree mid = PrimDijkstra(t, 0, 0.5);
+  EXPECT_LE(mst.TotalLength(), mid.TotalLength());
+  EXPECT_LE(mst.TotalLength(), spt.TotalLength());
+  mid.Validate();
+}
+
+TEST(PrimDijkstra, RejectsBadArguments) {
+  const std::vector<Point> t{{0, 0}, {10, 10}};
+  EXPECT_THROW(PrimDijkstra({}, 0, 0.5), CheckError);
+  EXPECT_THROW(PrimDijkstra(t, 5, 0.5), CheckError);
+  EXPECT_THROW(PrimDijkstra(t, 0, -0.1), CheckError);
+  EXPECT_THROW(PrimDijkstra(t, 0, 1.5), CheckError);
+}
+
+TEST(PTree, SingleAndPairDegenerate) {
+  const SteinerTree one = PTree({{5, 5}});
+  EXPECT_EQ(one.points.size(), 1u);
+  one.Validate();
+  const SteinerTree two = PTree({{0, 0}, {30, 40}});
+  two.Validate();
+  EXPECT_EQ(two.TotalLength(), 70);
+}
+
+TEST(PTree, FindsTheOptimalCross) {
+  // Plus-shape: the optimal RSMT is the star through (5,5), length 20.
+  const std::vector<Point> t{{0, 5}, {10, 5}, {5, 0}, {5, 10}};
+  const SteinerTree pt = PTree(t);
+  pt.Validate();
+  EXPECT_EQ(pt.TotalLength(), 20);
+}
+
+TEST(PTree, ThreePointMedianStar) {
+  const std::vector<Point> t{{0, 0}, {10, 2}, {4, 8}};
+  const SteinerTree pt = PTree(t);
+  EXPECT_EQ(pt.TotalLength(), 18);  // (xmax-xmin) + (ymax-ymin).
+}
+
+TEST(PTree, WirelengthStaysNearMst) {
+  // The tour restriction can beat or lose to 1-Steiner, but stays within
+  // a modest factor of the MST on random instances.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (const std::size_t n : {5u, 10u}) {
+      const std::vector<Point> t = RandomTerminals(seed, n, 10'000);
+      const SteinerTree pt = PTree(t);
+      pt.Validate();
+      EXPECT_EQ(pt.num_terminals, n);
+      for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(pt.points[i], t[i]);
+      EXPECT_LE(pt.TotalLength(),
+                static_cast<std::int64_t>(
+                    1.25 * static_cast<double>(RectilinearMstLength(t))))
+          << "seed " << seed << " n " << n;
+    }
+  }
+}
+
+TEST(PTree, ExplicitTourOverridesHeuristic) {
+  const std::vector<Point> t = RandomTerminals(6, 6, 5000);
+  PTreeOptions opt;
+  opt.tour = {0, 1, 2, 3, 4, 5};
+  const SteinerTree a = PTree(t, opt);
+  a.Validate();
+  // A different tour may give a different (valid) tree.
+  opt.tour = {5, 3, 1, 0, 2, 4};
+  const SteinerTree b = PTree(t, opt);
+  b.Validate();
+}
+
+TEST(PTree, RejectsBadTours) {
+  const std::vector<Point> t{{0, 0}, {10, 0}, {0, 10}};
+  PTreeOptions opt;
+  opt.tour = {0, 1};  // Wrong size.
+  EXPECT_THROW(PTree(t, opt), CheckError);
+  opt.tour = {0, 1, 1};  // Not a permutation.
+  EXPECT_THROW(PTree(t, opt), CheckError);
+  EXPECT_THROW(PTree({}, {}), CheckError);
+}
+
+}  // namespace
+}  // namespace msn

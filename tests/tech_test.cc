@@ -1,0 +1,135 @@
+#include "tech/tech.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace msn {
+namespace {
+
+TEST(Tech, DefaultTechnologyIsValid) {
+  const Technology tech = DefaultTechnology();
+  EXPECT_GT(tech.wire.res_per_um, 0.0);
+  EXPECT_GT(tech.wire.cap_per_um, 0.0);
+  ASSERT_EQ(tech.repeaters.size(), 1u);
+  EXPECT_TRUE(tech.repeaters[0].Symmetric());
+  EXPECT_DOUBLE_EQ(tech.prev_stage_res, 400.0);
+  EXPECT_DOUBLE_EQ(tech.next_stage_cap, 0.2);
+}
+
+TEST(Tech, RepeaterFromBufferPair) {
+  const Buffer b = DefaultBuffer1X();
+  const Repeater r = Repeater::FromBufferPair(b);
+  EXPECT_DOUBLE_EQ(r.intrinsic_ab, b.intrinsic_ps);
+  EXPECT_DOUBLE_EQ(r.intrinsic_ba, b.intrinsic_ps);
+  EXPECT_DOUBLE_EQ(r.res_ab, b.output_res);
+  EXPECT_DOUBLE_EQ(r.cap_a, b.input_cap);
+  EXPECT_DOUBLE_EQ(r.cap_b, b.input_cap);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0 * b.cost);  // A *pair* of buffers.
+  EXPECT_TRUE(r.Symmetric());
+}
+
+TEST(Tech, ScaledBufferLaw) {
+  const Buffer b = DefaultBuffer1X();
+  const Buffer b3 = ScaledBuffer(b, 3.0);
+  EXPECT_DOUBLE_EQ(b3.output_res, b.output_res / 3.0);
+  EXPECT_DOUBLE_EQ(b3.input_cap, b.input_cap * 3.0);
+  EXPECT_DOUBLE_EQ(b3.cost, 3.0 * b.cost);
+  EXPECT_DOUBLE_EQ(b3.intrinsic_ps, b.intrinsic_ps);
+}
+
+TEST(Tech, ScaledBufferRejectsNonPositive) {
+  EXPECT_THROW(ScaledBuffer(DefaultBuffer1X(), 0.0), CheckError);
+  EXPECT_THROW(ScaledBuffer(DefaultBuffer1X(), -2.0), CheckError);
+}
+
+TEST(Tech, OrientationAccessors) {
+  Repeater r;
+  r.intrinsic_ab = 1.0;
+  r.res_ab = 2.0;
+  r.intrinsic_ba = 3.0;
+  r.res_ba = 4.0;
+  r.cap_a = 5.0;
+  r.cap_b = 6.0;
+  // A-side up: down direction is A->B, up direction is B->A.
+  EXPECT_DOUBLE_EQ(r.IntrinsicDown(RepeaterOrientation::kASideUp), 1.0);
+  EXPECT_DOUBLE_EQ(r.ResDown(RepeaterOrientation::kASideUp), 2.0);
+  EXPECT_DOUBLE_EQ(r.IntrinsicUp(RepeaterOrientation::kASideUp), 3.0);
+  EXPECT_DOUBLE_EQ(r.ResUp(RepeaterOrientation::kASideUp), 4.0);
+  EXPECT_DOUBLE_EQ(r.CapUp(RepeaterOrientation::kASideUp), 5.0);
+  EXPECT_DOUBLE_EQ(r.CapDown(RepeaterOrientation::kASideUp), 6.0);
+  // B-side up mirrors everything.
+  EXPECT_DOUBLE_EQ(r.IntrinsicDown(RepeaterOrientation::kBSideUp), 3.0);
+  EXPECT_DOUBLE_EQ(r.ResDown(RepeaterOrientation::kBSideUp), 4.0);
+  EXPECT_DOUBLE_EQ(r.IntrinsicUp(RepeaterOrientation::kBSideUp), 1.0);
+  EXPECT_DOUBLE_EQ(r.CapUp(RepeaterOrientation::kBSideUp), 6.0);
+  EXPECT_DOUBLE_EQ(r.CapDown(RepeaterOrientation::kBSideUp), 5.0);
+}
+
+TEST(Tech, ResolveTerminalAddsStageDelays) {
+  const Technology tech = DefaultTechnology();
+  TerminalParams p = DefaultTerminal(tech);
+  p.arrival_ps = 100.0;
+  p.downstream_ps = 50.0;
+  const EffectiveTerminal e = ResolveTerminal(p);
+  const Buffer b = DefaultBuffer1X();
+  EXPECT_DOUBLE_EQ(e.arrival_ps, 100.0 + 400.0 * b.input_cap);
+  EXPECT_DOUBLE_EQ(e.downstream_ps,
+                   50.0 + b.intrinsic_ps + b.output_res * 0.2);
+  EXPECT_DOUBLE_EQ(e.pin_cap, b.input_cap);
+  EXPECT_DOUBLE_EQ(e.driver_res, b.output_res);
+}
+
+TEST(Tech, DriverSizingLibraryCartesianProduct) {
+  const Technology tech = DefaultTechnology();
+  const auto lib = DriverSizingLibrary(tech, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(lib.size(), 16u);
+  // The 1x/1x entry must match the default option.
+  const TerminalOption def = Default1xOption(tech);
+  EXPECT_DOUBLE_EQ(lib[0].cost, def.cost);
+  EXPECT_DOUBLE_EQ(lib[0].driver_res, def.driver_res);
+  EXPECT_DOUBLE_EQ(lib[0].pin_cap, def.pin_cap);
+  EXPECT_DOUBLE_EQ(lib[0].arrival_extra_ps, def.arrival_extra_ps);
+  EXPECT_DOUBLE_EQ(lib[0].downstream_extra_ps, def.downstream_extra_ps);
+}
+
+TEST(Tech, DriverSizingTradeoffsMonotone) {
+  const Technology tech = DefaultTechnology();
+  const auto lib = DriverSizingLibrary(tech, {1.0, 4.0});
+  // Larger driver: lower bus resistance but more PI-side loading.
+  const TerminalOption& small = lib[0];   // 1x/1x.
+  const TerminalOption& big = lib[3];     // 4x/4x.
+  EXPECT_LT(big.driver_res, small.driver_res);
+  EXPECT_GT(big.arrival_extra_ps, small.arrival_extra_ps);
+  EXPECT_GT(big.pin_cap, small.pin_cap);
+  EXPECT_LT(big.downstream_extra_ps, small.downstream_extra_ps);
+  EXPECT_GT(big.cost, small.cost);
+}
+
+TEST(Tech, ValidateRejectsBadWire) {
+  Technology tech = DefaultTechnology();
+  tech.wire.res_per_um = 0.0;
+  EXPECT_THROW(tech.Validate(), CheckError);
+  tech = DefaultTechnology();
+  tech.wire.cap_per_um = -1.0;
+  EXPECT_THROW(tech.Validate(), CheckError);
+}
+
+TEST(Tech, ValidateRejectsBadRepeater) {
+  Technology tech = DefaultTechnology();
+  tech.repeaters[0].res_ab = 0.0;
+  EXPECT_THROW(tech.Validate(), CheckError);
+  tech = DefaultTechnology();
+  tech.repeaters[0].cap_b = -0.01;
+  EXPECT_THROW(tech.Validate(), CheckError);
+  tech = DefaultTechnology();
+  tech.repeaters[0].cost = -1.0;
+  EXPECT_THROW(tech.Validate(), CheckError);
+}
+
+TEST(Tech, SizingLibraryRequiresSizes) {
+  EXPECT_THROW(DriverSizingLibrary(DefaultTechnology(), {}), CheckError);
+}
+
+}  // namespace
+}  // namespace msn

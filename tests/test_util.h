@@ -1,0 +1,104 @@
+// Shared fixtures and builders for the msn test suite.
+#ifndef MSN_TESTS_TEST_UTIL_H
+#define MSN_TESTS_TEST_UTIL_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "netgen/netgen.h"
+#include "rctree/assignment.h"
+#include "rctree/rctree.h"
+#include "tech/tech.h"
+
+namespace msn::testing {
+
+/// A deliberately small technology for brute-force-comparable tests: one
+/// symmetric repeater (two choices per insertion point).
+inline Technology SmallTech() {
+  Technology tech = DefaultTechnology();
+  tech.repeaters = {Repeater::FromBufferPair(DefaultBuffer1X())};
+  return tech;
+}
+
+/// A technology with an asymmetric repeater so orientation matters.
+inline Technology AsymmetricTech() {
+  Technology tech = DefaultTechnology();
+  Repeater r = Repeater::FromBufferPair(DefaultBuffer1X());
+  r.name = "asym";
+  r.intrinsic_ab = 20.0;
+  r.res_ab = 120.0;
+  r.intrinsic_ba = 55.0;
+  r.res_ba = 260.0;
+  r.cap_a = 0.03;
+  r.cap_b = 0.08;
+  tech.repeaters = {r};
+  return tech;
+}
+
+/// A two-repeater library (1X-pair and 2X-pair).
+inline Technology TwoRepeaterTech() {
+  Technology tech = DefaultTechnology();
+  tech.repeaters = {
+      Repeater::FromBufferPair(DefaultBuffer1X()),
+      Repeater::FromBufferPair(ScaledBuffer(DefaultBuffer1X(), 2.0)),
+  };
+  return tech;
+}
+
+/// Small random experiment net (few insertion points so brute force is
+/// feasible): n terminals on a small grid with wide insertion spacing.
+inline RcTree SmallRandomNet(const Technology& tech, std::uint64_t seed,
+                             std::size_t n = 4,
+                             std::int64_t grid_um = 3000,
+                             double spacing_um = 1500.0) {
+  NetConfig cfg;
+  cfg.seed = seed;
+  cfg.num_terminals = n;
+  cfg.grid_um = grid_um;
+  cfg.insertion_spacing_um = spacing_um;
+  return BuildExperimentNet(cfg, tech);
+}
+
+/// Two terminals joined by one wire with `ips` evenly spaced insertion
+/// points.  The canonical hand-computable topology.
+inline RcTree TwoPinLine(const Technology& tech, double length_um,
+                         std::size_t ips = 1) {
+  RcTree tree(tech.wire);
+  const TerminalParams t = DefaultTerminal(tech);
+  const NodeId a = tree.AddTerminal(t, {0, 0});
+  const NodeId b = tree.AddTerminal(
+      t, {static_cast<std::int64_t>(length_um), 0});
+  NodeId prev = a;
+  const double piece = length_um / static_cast<double>(ips + 1);
+  for (std::size_t k = 1; k <= ips; ++k) {
+    const NodeId ip = tree.AddNode(
+        NodeKind::kInsertion,
+        {static_cast<std::int64_t>(piece * static_cast<double>(k)), 0});
+    tree.AddEdge(prev, ip, piece);
+    prev = ip;
+  }
+  tree.AddEdge(prev, b, piece);
+  tree.Validate();
+  return tree;
+}
+
+/// Random repeater assignment over the tree's insertion points.
+inline RepeaterAssignment RandomAssignment(const RcTree& tree,
+                                           const Technology& tech, Rng& rng,
+                                           double place_probability = 0.5) {
+  RepeaterAssignment assign(tree.NumNodes());
+  for (const NodeId ip : tree.InsertionPoints()) {
+    if (!rng.Chance(place_probability)) continue;
+    const auto& adj = tree.AdjacentEdges(ip);
+    const RcEdge& e = tree.Edge(adj[rng.Chance(0.5) ? 0 : 1]);
+    const NodeId neighbor = e.a == ip ? e.b : e.a;
+    const auto idx = static_cast<std::size_t>(rng.UniformInt(
+        0, static_cast<std::int64_t>(tech.repeaters.size()) - 1));
+    assign.Place(ip, PlacedRepeater{idx, neighbor});
+  }
+  return assign;
+}
+
+}  // namespace msn::testing
+
+#endif  // MSN_TESTS_TEST_UTIL_H

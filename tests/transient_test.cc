@@ -1,0 +1,184 @@
+// Tests for the golden transient simulator and its relationship to the
+// Elmore and D2M delay models.
+#include "sim/transient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/ard.h"
+#include "elmore/moments.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+using testing::RandomAssignment;
+using testing::SmallRandomNet;
+using testing::TwoPinLine;
+
+TEST(Transient, SinglePoleMatchesClosedForm) {
+  // One driver resistance into a lumped load: v(t) = 1 - exp(-t/RC),
+  // 50% at ln2 * RC.  Use a short wire so the pin caps dominate.
+  const Technology tech = DefaultTechnology();
+  RcTree tree(tech.wire);
+  const TerminalParams tp = DefaultTerminal(tech);
+  const NodeId a = tree.AddTerminal(tp, {0, 0});
+  const NodeId b = tree.AddTerminal(tp, {1, 0});
+  tree.AddEdge(a, b, 1.0);
+
+  const EffectiveTerminal eff = ResolveTerminal(tp);
+  const double total_cap =
+      2.0 * eff.pin_cap + 1.0 * tech.wire.cap_per_um;
+  const double tau = eff.driver_res * total_cap;
+
+  const TransientDelays sim = SimulateSource(
+      tree, 0, RepeaterAssignment(tree.NumNodes()),
+      DriverAssignment(tree.NumTerminals()), tech);
+  const double base = eff.arrival_ps + eff.driver_intrinsic_ps;
+  EXPECT_NEAR(sim.arrival_ps[b] - base, std::log(2.0) * tau,
+              0.01 * tau);
+}
+
+TEST(Transient, ElmoreIsAnUpperBound) {
+  // Classic result: for RC trees under a step, the Elmore delay bounds
+  // the 50% delay from above, at every node.
+  const Technology tech = testing::SmallTech();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const RcTree tree = SmallRandomNet(tech, seed, 6, 7000, 900.0);
+    Rng rng(seed * 3);
+    const RepeaterAssignment assign = RandomAssignment(tree, tech, rng);
+    const DriverAssignment drivers(tree.NumTerminals());
+    const TransientDelays sim =
+        SimulateSource(tree, 0, assign, drivers, tech);
+    const SourceDelays elmore =
+        ComputeSourceDelays(tree, 0, assign, drivers, tech);
+    for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+      if (v == tree.TerminalNode(0)) continue;  // Input- vs output-side.
+      EXPECT_LE(sim.arrival_ps[v], elmore.arrival[v] * (1.0 + 1e-3))
+          << "seed " << seed << " node " << v;
+    }
+  }
+}
+
+TEST(Transient, D2mTracksGoldenBetterThanElmore) {
+  // The point of the two-moment metric: averaged over sinks, D2M lands
+  // closer to the simulated 50% delay than Elmore does.
+  const Technology tech = testing::SmallTech();
+  double err_elmore = 0.0, err_d2m = 0.0;
+  int sinks = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const RcTree tree = SmallRandomNet(tech, seed, 6, 8000, 800.0);
+    const RepeaterAssignment none(tree.NumNodes());
+    const DriverAssignment drivers(tree.NumTerminals());
+    const TransientDelays sim =
+        SimulateSource(tree, 0, none, drivers, tech);
+    const SourceDelays elmore =
+        ComputeSourceDelays(tree, 0, none, drivers, tech);
+    const SourceMoments d2m =
+        ComputeSourceMoments(tree, 0, none, drivers, tech);
+    for (std::size_t t = 1; t < tree.NumTerminals(); ++t) {
+      const NodeId v = tree.TerminalNode(t);
+      err_elmore += std::fabs(elmore.arrival[v] - sim.arrival_ps[v]);
+      err_d2m += std::fabs(d2m.delay_ps[v] - sim.arrival_ps[v]);
+      ++sinks;
+    }
+  }
+  ASSERT_GT(sinks, 0);
+  EXPECT_LT(err_d2m, err_elmore)
+      << "mean |D2M - golden| = " << err_d2m / sinks
+      << " vs |Elmore - golden| = " << err_elmore / sinks;
+}
+
+TEST(Transient, RepeaterDecouplesDownstream) {
+  const Technology tech = testing::SmallTech();
+  std::vector<double> at_ip;
+  for (const double tail : {600.0, 5000.0}) {
+    RcTree tree(tech.wire);
+    const TerminalParams tp = DefaultTerminal(tech);
+    const NodeId a = tree.AddTerminal(tp, {0, 0});
+    const NodeId ip = tree.AddNode(NodeKind::kInsertion, {500, 0});
+    const NodeId b = tree.AddTerminal(
+        tp, {500 + static_cast<std::int64_t>(tail), 0});
+    tree.AddEdge(a, ip, 500.0);
+    tree.AddEdge(ip, b, tail);
+    RepeaterAssignment assign(tree.NumNodes());
+    assign.Place(ip, PlacedRepeater{0, a});
+    const TransientDelays sim = SimulateSource(
+        tree, 0, assign, DriverAssignment(tree.NumTerminals()), tech);
+    at_ip.push_back(sim.arrival_ps[ip]);
+  }
+  EXPECT_NEAR(at_ip[0], at_ip[1], 1e-6);
+}
+
+TEST(Transient, RefiningTimeStepConverges) {
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = TwoPinLine(tech, 6000.0, 3);
+  const RepeaterAssignment none(tree.NumNodes());
+  const DriverAssignment drivers(tree.NumTerminals());
+  TransientOptions coarse;
+  coarse.resolution = 100.0;
+  TransientOptions fine;
+  fine.resolution = 1600.0;
+  const double a =
+      SimulateSource(tree, 0, none, drivers, tech, coarse)
+          .arrival_ps[tree.TerminalNode(1)];
+  const double b =
+      SimulateSource(tree, 0, none, drivers, tech, fine)
+          .arrival_ps[tree.TerminalNode(1)];
+  EXPECT_NEAR(a, b, 0.01 * b);
+}
+
+TEST(Transient, ZeroLengthStubsHandled) {
+  // Nets with non-leaf terminals carry zero-length stub edges; the
+  // simulator must clamp the infinite conductance gracefully.
+  const Technology tech = testing::SmallTech();
+  SteinerTree st;
+  st.points = {{0, 0}, {2000, 0}, {4000, 0}};
+  st.num_terminals = 3;
+  st.edges = {{0, 1}, {1, 2}};
+  RcTree tree = RcTree::FromSteinerTree(
+      st, tech.wire, std::vector<TerminalParams>(3, DefaultTerminal(tech)));
+  tree.AddInsertionPoints(900.0);
+  const TransientDelays sim = SimulateSource(
+      tree, 0, RepeaterAssignment(tree.NumNodes()),
+      DriverAssignment(tree.NumTerminals()), tech);
+  for (std::size_t t = 1; t < 3; ++t) {
+    EXPECT_GT(sim.arrival_ps[tree.TerminalNode(t)], 0.0);
+    EXPECT_TRUE(std::isfinite(sim.arrival_ps[tree.TerminalNode(t)]));
+  }
+}
+
+TEST(Transient, GoldenArdOrderingAndBounds) {
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = SmallRandomNet(tech, 9, 6, 8000, 800.0);
+  const RepeaterAssignment none(tree.NumNodes());
+  const DriverAssignment drivers(tree.NumTerminals());
+  const ArdResult golden = ComputeArdGolden(tree, none, drivers, tech);
+  const ArdResult elmore = ComputeArd(tree, none, drivers, tech);
+  ASSERT_TRUE(golden.HasPair());
+  EXPECT_LE(golden.ard_ps, elmore.ard_ps * (1.0 + 1e-3));
+  EXPECT_GT(golden.ard_ps, 0.3 * elmore.ard_ps);
+}
+
+TEST(Transient, OptionValidation) {
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = TwoPinLine(tech, 1000.0, 1);
+  TransientOptions bad;
+  bad.threshold = 1.5;
+  EXPECT_THROW(SimulateSource(tree, 0, RepeaterAssignment(tree.NumNodes()),
+                              DriverAssignment(tree.NumTerminals()), tech,
+                              bad),
+               CheckError);
+  bad = TransientOptions{};
+  bad.resolution = 2.0;
+  EXPECT_THROW(SimulateSource(tree, 0, RepeaterAssignment(tree.NumNodes()),
+                              DriverAssignment(tree.NumTerminals()), tech,
+                              bad),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,91 @@
+#include "baseline/van_ginneken.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/ard.h"
+#include "core/msri.h"
+#include "netgen/netgen.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+/// A net where terminal 0 is the only source and all others are sinks.
+RcTree SingleSourceNet(const Technology& tech, std::uint64_t seed,
+                       std::size_t n, double spacing) {
+  NetConfig cfg;
+  cfg.seed = seed;
+  cfg.num_terminals = n;
+  cfg.grid_um = 8000;
+  cfg.insertion_spacing_um = spacing;
+  RcTree tree = BuildExperimentNet(cfg, tech);
+  for (std::size_t t = 0; t < n; ++t) {
+    TerminalParams& p = tree.MutableTerminal(t);
+    if (t == 0) {
+      p.is_sink = false;
+    } else {
+      p.is_source = false;
+    }
+  }
+  return tree;
+}
+
+TEST(VanGinneken, ParetoPointsVerifyAgainstArdEngine) {
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = SingleSourceNet(tech, 4, 5, 800.0);
+  const VanGinnekenResult vg = RunVanGinneken(tree, tech, 0);
+  ASSERT_FALSE(vg.pareto.empty());
+  for (const TradeoffPoint& p : vg.pareto) {
+    const ArdResult check = ComputeArd(
+        tree, p.repeaters, DriverAssignment(tree.NumTerminals()), tech);
+    EXPECT_NEAR(check.ard_ps, p.ard_ps, 1e-6);
+  }
+}
+
+TEST(VanGinneken, RejectsNonSource) {
+  const Technology tech = testing::SmallTech();
+  const RcTree tree = SingleSourceNet(tech, 4, 5, 800.0);
+  EXPECT_THROW(RunVanGinneken(tree, tech, 1), CheckError);
+  EXPECT_THROW(RunVanGinneken(tree, tech, 99), CheckError);
+}
+
+TEST(VanGinneken, BuffersHelpOnLongLine) {
+  const Technology tech = testing::SmallTech();
+  RcTree tree = testing::TwoPinLine(tech, 20'000.0, 12);
+  tree.MutableTerminal(0).is_sink = false;
+  tree.MutableTerminal(1).is_source = false;
+  const VanGinnekenResult vg = RunVanGinneken(tree, tech, 0);
+  ASSERT_GE(vg.pareto.size(), 2u);
+  EXPECT_LT(vg.pareto.back().ard_ps, 0.7 * vg.pareto.front().ard_ps);
+}
+
+/// On single-source nets, MSRI (rooted at the source) must reproduce the
+/// van Ginneken frontier exactly: the multisource DP generalizes it.
+class VgMsriAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VgMsriAgreement, FrontiersMatch) {
+  const std::uint64_t seed = GetParam();
+  for (const Technology& tech :
+       {testing::SmallTech(), testing::AsymmetricTech(),
+        testing::TwoRepeaterTech()}) {
+    const RcTree tree = SingleSourceNet(tech, seed, 4, 900.0);
+    const VanGinnekenResult vg = RunVanGinneken(tree, tech, 0);
+
+    MsriOptions opt;
+    opt.root = tree.TerminalNode(0);
+    const MsriResult msri = RunMsri(tree, tech, opt);
+
+    ASSERT_EQ(vg.pareto.size(), msri.Pareto().size()) << "seed " << seed;
+    for (std::size_t i = 0; i < vg.pareto.size(); ++i) {
+      EXPECT_NEAR(vg.pareto[i].cost, msri.Pareto()[i].cost, 1e-9);
+      EXPECT_NEAR(vg.pareto[i].ard_ps, msri.Pareto()[i].ard_ps, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VgMsriAgreement,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,216 @@
+// msn_cli — command-line driver for the multisource-net optimizer.
+//
+//   msn_cli gen --terminals N [--seed S] [--grid UM] [--spacing UM] -o F
+//       Generate a random experiment net and write it as .msn.
+//   msn_cli ard NET.msn [SOLUTION.msn]
+//       Report the augmented RC-diameter (optionally of a saved solution).
+//   msn_cli optimize NET.msn [--spec PS] [--mode repeaters|sizing|joint]
+//           [-o SOLUTION.msn]
+//       Run the MSRI DP; print the tradeoff suite and the chosen point
+//       (min-cost meeting --spec, else the min-ARD point).
+//   msn_cli render NET.msn [SOLUTION.msn]
+//       ASCII sketch of the net (with repeater markers if given).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/check.h"
+#include "core/ard.h"
+#include "core/msri.h"
+#include "io/netfile.h"
+#include "io/report.h"
+#include "io/table.h"
+#include "netgen/netgen.h"
+#include "tech/tech.h"
+
+namespace {
+
+using namespace msn;
+
+[[noreturn]] void Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  msn_cli gen --terminals N [--seed S] [--grid UM] [--spacing UM]"
+      " -o FILE\n"
+      "  msn_cli ard NET.msn [SOLUTION.msn]\n"
+      "  msn_cli optimize NET.msn [--spec PS]"
+      " [--mode repeaters|sizing|joint] [-o SOLUTION.msn]\n"
+      "  msn_cli render NET.msn [SOLUTION.msn]\n";
+  std::exit(2);
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first,
+                                              std::vector<std::string>* pos) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 || arg == "-o") {
+      MSN_CHECK_MSG(i + 1 < argc, "flag " << arg << " needs a value");
+      flags[arg] = argv[++i];
+    } else {
+      pos->push_back(arg);
+    }
+  }
+  return flags;
+}
+
+RcTree LoadNet(const std::string& path) {
+  std::ifstream in(path);
+  MSN_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  return ReadNet(in);
+}
+
+SolutionFile LoadSolution(const std::string& path, const RcTree& tree) {
+  std::ifstream in(path);
+  MSN_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  // Skip the net section if the file carries one.
+  std::string line;
+  const auto start = in.tellg();
+  bool has_net = false;
+  if (std::getline(in, line) && line.rfind("msn-net", 0) == 0) {
+    has_net = true;
+    while (std::getline(in, line) && line != "end") {
+    }
+  }
+  if (!has_net) in.seekg(start);
+  return ReadSolution(in, tree);
+}
+
+int CmdGen(int argc, char** argv) {
+  std::vector<std::string> pos;
+  const auto flags = ParseFlags(argc, argv, 2, &pos);
+  MSN_CHECK_MSG(flags.count("--terminals") && flags.count("-o"),
+                "gen requires --terminals and -o");
+  NetConfig cfg;
+  cfg.num_terminals = std::stoul(flags.at("--terminals"));
+  if (flags.count("--seed")) cfg.seed = std::stoull(flags.at("--seed"));
+  if (flags.count("--grid")) cfg.grid_um = std::stoll(flags.at("--grid"));
+  if (flags.count("--spacing")) {
+    cfg.insertion_spacing_um = std::stod(flags.at("--spacing"));
+  }
+  const Technology tech = DefaultTechnology();
+  const RcTree tree = BuildExperimentNet(cfg, tech);
+  std::ofstream out(flags.at("-o"));
+  MSN_CHECK_MSG(out.good(), "cannot write '" << flags.at("-o") << "'");
+  WriteNet(out, tree);
+  DescribeNet(std::cout, tree);
+  std::cout << "wrote " << flags.at("-o") << '\n';
+  return 0;
+}
+
+int CmdArd(int argc, char** argv) {
+  std::vector<std::string> pos;
+  ParseFlags(argc, argv, 2, &pos);
+  MSN_CHECK_MSG(!pos.empty(), "ard requires a net file");
+  const RcTree tree = LoadNet(pos[0]);
+  const Technology tech = DefaultTechnology();
+  DescribeNet(std::cout, tree);
+
+  RepeaterAssignment repeaters(tree.NumNodes());
+  DriverAssignment drivers(tree.NumTerminals());
+  RcTree evaluated = tree;
+  if (pos.size() > 1) {
+    SolutionFile sol = LoadSolution(pos[1], tree);
+    repeaters = sol.repeaters;
+    drivers = std::move(sol.drivers);
+    if (!sol.wire_widths.empty()) {
+      evaluated = tree.WithWireWidths(sol.wire_widths);
+    }
+  }
+  const ArdResult ard = ComputeArd(evaluated, repeaters, drivers, tech);
+  std::cout << "ARD: " << ard.ard_ps << " ps";
+  if (ard.HasPair()) {
+    std::cout << "  (critical: terminal " << ard.critical_source << " -> "
+              << ard.critical_sink << ')';
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+int CmdOptimize(int argc, char** argv) {
+  std::vector<std::string> pos;
+  const auto flags = ParseFlags(argc, argv, 2, &pos);
+  MSN_CHECK_MSG(!pos.empty(), "optimize requires a net file");
+  const RcTree tree = LoadNet(pos[0]);
+  const Technology tech = DefaultTechnology();
+
+  MsriOptions opt;
+  const std::string mode =
+      flags.count("--mode") ? flags.at("--mode") : "repeaters";
+  if (mode == "sizing" || mode == "joint") {
+    opt.size_drivers = true;
+    opt.sizing_library = DriverSizingLibrary(tech, {1.0, 2.0, 3.0, 4.0});
+    opt.insert_repeaters = mode == "joint";
+  } else {
+    MSN_CHECK_MSG(mode == "repeaters", "unknown --mode '" << mode << "'");
+  }
+
+  DescribeNet(std::cout, tree);
+  const double base = ComputeArd(tree, tech).ard_ps;
+  const MsriResult result = RunMsri(tree, tech, opt);
+
+  TablePrinter t({"cost", "#rep", "ARD (ps)", "vs base"});
+  for (const TradeoffPoint& p : result.Pareto()) {
+    t.AddRow({TablePrinter::Num(p.cost, 1), std::to_string(p.num_repeaters),
+              TablePrinter::Num(p.ard_ps, 1),
+              TablePrinter::Num(p.ard_ps / base, 2)});
+  }
+  t.Print(std::cout);
+
+  const TradeoffPoint* pick =
+      flags.count("--spec")
+          ? result.MinCostFeasible(std::stod(flags.at("--spec")))
+          : result.MinArd();
+  if (pick == nullptr) {
+    std::cout << "spec " << flags.at("--spec")
+              << " ps is unachievable (best " << result.MinArd()->ard_ps
+              << " ps)\n";
+    return 1;
+  }
+  const ArdResult ard = ComputeArd(tree, pick->repeaters, pick->drivers,
+                                   tech);
+  std::cout << '\n';
+  DescribeSolution(std::cout, tree, tech, *pick, ard);
+  if (flags.count("-o")) {
+    std::ofstream out(flags.at("-o"));
+    MSN_CHECK_MSG(out.good(), "cannot write '" << flags.at("-o") << "'");
+    WriteNet(out, tree);
+    WriteSolution(out, tree, *pick);
+    std::cout << "wrote " << flags.at("-o") << '\n';
+  }
+  return 0;
+}
+
+int CmdRender(int argc, char** argv) {
+  std::vector<std::string> pos;
+  ParseFlags(argc, argv, 2, &pos);
+  MSN_CHECK_MSG(!pos.empty(), "render requires a net file");
+  const RcTree tree = LoadNet(pos[0]);
+  RepeaterAssignment repeaters(tree.NumNodes());
+  if (pos.size() > 1) {
+    repeaters = LoadSolution(pos[1], tree).repeaters;
+  }
+  DescribeNet(std::cout, tree);
+  std::cout << RenderAscii(tree, repeaters, 72, 30);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) Usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return CmdGen(argc, argv);
+    if (cmd == "ard") return CmdArd(argc, argv);
+    if (cmd == "optimize") return CmdOptimize(argc, argv);
+    if (cmd == "render") return CmdRender(argc, argv);
+  } catch (const msn::CheckError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  Usage();
+}
