@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ard_scaling.dir/bench_ard_scaling.cc.o"
+  "CMakeFiles/bench_ard_scaling.dir/bench_ard_scaling.cc.o.d"
+  "bench_ard_scaling"
+  "bench_ard_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ard_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

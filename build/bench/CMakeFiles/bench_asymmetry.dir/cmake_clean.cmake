@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_asymmetry.dir/bench_asymmetry.cc.o"
+  "CMakeFiles/bench_asymmetry.dir/bench_asymmetry.cc.o.d"
+  "bench_asymmetry"
+  "bench_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inverters.dir/bench_inverters.cc.o"
+  "CMakeFiles/bench_inverters.dir/bench_inverters.cc.o.d"
+  "bench_inverters"
+  "bench_inverters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inverters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

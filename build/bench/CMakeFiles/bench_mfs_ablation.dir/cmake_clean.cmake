@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mfs_ablation.dir/bench_mfs_ablation.cc.o"
+  "CMakeFiles/bench_mfs_ablation.dir/bench_mfs_ablation.cc.o.d"
+  "bench_mfs_ablation"
+  "bench_mfs_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mfs_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

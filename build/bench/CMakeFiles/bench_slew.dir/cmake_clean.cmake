@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slew.dir/bench_slew.cc.o"
+  "CMakeFiles/bench_slew.dir/bench_slew.cc.o.d"
+  "bench_slew"
+  "bench_slew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spacing_sweep.dir/bench_spacing_sweep.cc.o"
+  "CMakeFiles/bench_spacing_sweep.dir/bench_spacing_sweep.cc.o.d"
+  "bench_spacing_sweep"
+  "bench_spacing_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spacing_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wire_sizing.dir/bench_wire_sizing.cc.o"
+  "CMakeFiles/bench_wire_sizing.dir/bench_wire_sizing.cc.o.d"
+  "bench_wire_sizing"
+  "bench_wire_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wire_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

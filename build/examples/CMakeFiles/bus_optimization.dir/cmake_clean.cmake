@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_optimization.dir/bus_optimization.cpp.o"
+  "CMakeFiles/bus_optimization.dir/bus_optimization.cpp.o.d"
+  "bus_optimization"
+  "bus_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_budget.dir/chip_budget.cpp.o"
+  "CMakeFiles/chip_budget.dir/chip_budget.cpp.o.d"
+  "chip_budget"
+  "chip_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_sizing.dir/driver_sizing.cpp.o"
+  "CMakeFiles/driver_sizing.dir/driver_sizing.cpp.o.d"
+  "driver_sizing"
+  "driver_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_diagnostics.dir/timing_diagnostics.cpp.o"
+  "CMakeFiles/timing_diagnostics.dir/timing_diagnostics.cpp.o.d"
+  "timing_diagnostics"
+  "timing_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

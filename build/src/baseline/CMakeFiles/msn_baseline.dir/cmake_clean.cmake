@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_baseline.dir/brute_force.cc.o"
+  "CMakeFiles/msn_baseline.dir/brute_force.cc.o.d"
+  "CMakeFiles/msn_baseline.dir/greedy.cc.o"
+  "CMakeFiles/msn_baseline.dir/greedy.cc.o.d"
+  "CMakeFiles/msn_baseline.dir/van_ginneken.cc.o"
+  "CMakeFiles/msn_baseline.dir/van_ginneken.cc.o.d"
+  "libmsn_baseline.a"
+  "libmsn_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

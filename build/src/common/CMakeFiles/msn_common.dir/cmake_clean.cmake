@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_common.dir/interval_set.cc.o"
+  "CMakeFiles/msn_common.dir/interval_set.cc.o.d"
+  "libmsn_common.a"
+  "libmsn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

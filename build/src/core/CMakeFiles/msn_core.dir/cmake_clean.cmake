@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_core.dir/ard.cc.o"
+  "CMakeFiles/msn_core.dir/ard.cc.o.d"
+  "CMakeFiles/msn_core.dir/mfs.cc.o"
+  "CMakeFiles/msn_core.dir/mfs.cc.o.d"
+  "CMakeFiles/msn_core.dir/msri.cc.o"
+  "CMakeFiles/msn_core.dir/msri.cc.o.d"
+  "CMakeFiles/msn_core.dir/pwl.cc.o"
+  "CMakeFiles/msn_core.dir/pwl.cc.o.d"
+  "libmsn_core.a"
+  "libmsn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elmore/caps.cc" "src/elmore/CMakeFiles/msn_elmore.dir/caps.cc.o" "gcc" "src/elmore/CMakeFiles/msn_elmore.dir/caps.cc.o.d"
+  "/root/repo/src/elmore/delay.cc" "src/elmore/CMakeFiles/msn_elmore.dir/delay.cc.o" "gcc" "src/elmore/CMakeFiles/msn_elmore.dir/delay.cc.o.d"
+  "/root/repo/src/elmore/moments.cc" "src/elmore/CMakeFiles/msn_elmore.dir/moments.cc.o" "gcc" "src/elmore/CMakeFiles/msn_elmore.dir/moments.cc.o.d"
+  "/root/repo/src/elmore/pairwise.cc" "src/elmore/CMakeFiles/msn_elmore.dir/pairwise.cc.o" "gcc" "src/elmore/CMakeFiles/msn_elmore.dir/pairwise.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/msn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rctree/CMakeFiles/msn_rctree.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/msn_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/msn_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/msn_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_elmore.dir/caps.cc.o"
+  "CMakeFiles/msn_elmore.dir/caps.cc.o.d"
+  "CMakeFiles/msn_elmore.dir/delay.cc.o"
+  "CMakeFiles/msn_elmore.dir/delay.cc.o.d"
+  "CMakeFiles/msn_elmore.dir/moments.cc.o"
+  "CMakeFiles/msn_elmore.dir/moments.cc.o.d"
+  "CMakeFiles/msn_elmore.dir/pairwise.cc.o"
+  "CMakeFiles/msn_elmore.dir/pairwise.cc.o.d"
+  "libmsn_elmore.a"
+  "libmsn_elmore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_elmore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsn_elmore.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for msn_elmore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_flow.dir/budget.cc.o"
+  "CMakeFiles/msn_flow.dir/budget.cc.o.d"
+  "CMakeFiles/msn_flow.dir/refine.cc.o"
+  "CMakeFiles/msn_flow.dir/refine.cc.o.d"
+  "libmsn_flow.a"
+  "libmsn_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_geom.dir/hanan.cc.o"
+  "CMakeFiles/msn_geom.dir/hanan.cc.o.d"
+  "libmsn_geom.a"
+  "libmsn_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

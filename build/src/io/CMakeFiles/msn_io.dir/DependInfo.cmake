@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/netfile.cc" "src/io/CMakeFiles/msn_io.dir/netfile.cc.o" "gcc" "src/io/CMakeFiles/msn_io.dir/netfile.cc.o.d"
+  "/root/repo/src/io/report.cc" "src/io/CMakeFiles/msn_io.dir/report.cc.o" "gcc" "src/io/CMakeFiles/msn_io.dir/report.cc.o.d"
+  "/root/repo/src/io/table.cc" "src/io/CMakeFiles/msn_io.dir/table.cc.o" "gcc" "src/io/CMakeFiles/msn_io.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/msn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/elmore/CMakeFiles/msn_elmore.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/msn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/rctree/CMakeFiles/msn_rctree.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/msn_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/msn_steiner.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_io.dir/netfile.cc.o"
+  "CMakeFiles/msn_io.dir/netfile.cc.o.d"
+  "CMakeFiles/msn_io.dir/report.cc.o"
+  "CMakeFiles/msn_io.dir/report.cc.o.d"
+  "CMakeFiles/msn_io.dir/table.cc.o"
+  "CMakeFiles/msn_io.dir/table.cc.o.d"
+  "libmsn_io.a"
+  "libmsn_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

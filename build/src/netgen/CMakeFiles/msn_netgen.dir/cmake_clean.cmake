@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_netgen.dir/netgen.cc.o"
+  "CMakeFiles/msn_netgen.dir/netgen.cc.o.d"
+  "libmsn_netgen.a"
+  "libmsn_netgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

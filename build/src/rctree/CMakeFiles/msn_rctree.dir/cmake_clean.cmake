@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_rctree.dir/assignment.cc.o"
+  "CMakeFiles/msn_rctree.dir/assignment.cc.o.d"
+  "CMakeFiles/msn_rctree.dir/rctree.cc.o"
+  "CMakeFiles/msn_rctree.dir/rctree.cc.o.d"
+  "CMakeFiles/msn_rctree.dir/rooted.cc.o"
+  "CMakeFiles/msn_rctree.dir/rooted.cc.o.d"
+  "libmsn_rctree.a"
+  "libmsn_rctree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_rctree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

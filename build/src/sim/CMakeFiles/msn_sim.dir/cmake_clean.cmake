@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_sim.dir/transient.cc.o"
+  "CMakeFiles/msn_sim.dir/transient.cc.o.d"
+  "libmsn_sim.a"
+  "libmsn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

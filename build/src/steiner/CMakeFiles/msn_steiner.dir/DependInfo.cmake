@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/steiner/one_steiner.cc" "src/steiner/CMakeFiles/msn_steiner.dir/one_steiner.cc.o" "gcc" "src/steiner/CMakeFiles/msn_steiner.dir/one_steiner.cc.o.d"
+  "/root/repo/src/steiner/prim_dijkstra.cc" "src/steiner/CMakeFiles/msn_steiner.dir/prim_dijkstra.cc.o" "gcc" "src/steiner/CMakeFiles/msn_steiner.dir/prim_dijkstra.cc.o.d"
+  "/root/repo/src/steiner/ptree.cc" "src/steiner/CMakeFiles/msn_steiner.dir/ptree.cc.o" "gcc" "src/steiner/CMakeFiles/msn_steiner.dir/ptree.cc.o.d"
+  "/root/repo/src/steiner/spanning.cc" "src/steiner/CMakeFiles/msn_steiner.dir/spanning.cc.o" "gcc" "src/steiner/CMakeFiles/msn_steiner.dir/spanning.cc.o.d"
+  "/root/repo/src/steiner/topology.cc" "src/steiner/CMakeFiles/msn_steiner.dir/topology.cc.o" "gcc" "src/steiner/CMakeFiles/msn_steiner.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/msn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/msn_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_steiner.dir/one_steiner.cc.o"
+  "CMakeFiles/msn_steiner.dir/one_steiner.cc.o.d"
+  "CMakeFiles/msn_steiner.dir/prim_dijkstra.cc.o"
+  "CMakeFiles/msn_steiner.dir/prim_dijkstra.cc.o.d"
+  "CMakeFiles/msn_steiner.dir/ptree.cc.o"
+  "CMakeFiles/msn_steiner.dir/ptree.cc.o.d"
+  "CMakeFiles/msn_steiner.dir/spanning.cc.o"
+  "CMakeFiles/msn_steiner.dir/spanning.cc.o.d"
+  "CMakeFiles/msn_steiner.dir/topology.cc.o"
+  "CMakeFiles/msn_steiner.dir/topology.cc.o.d"
+  "libmsn_steiner.a"
+  "libmsn_steiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_tech.dir/tech.cc.o"
+  "CMakeFiles/msn_tech.dir/tech.cc.o.d"
+  "libmsn_tech.a"
+  "libmsn_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

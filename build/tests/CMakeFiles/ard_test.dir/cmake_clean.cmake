@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ard_test.dir/ard_test.cc.o"
+  "CMakeFiles/ard_test.dir/ard_test.cc.o.d"
+  "ard_test"
+  "ard_test.pdb"
+  "ard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

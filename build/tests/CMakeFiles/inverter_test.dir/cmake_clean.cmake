@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverter_test.dir/inverter_test.cc.o"
+  "CMakeFiles/inverter_test.dir/inverter_test.cc.o.d"
+  "inverter_test"
+  "inverter_test.pdb"
+  "inverter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfs_test.dir/mfs_test.cc.o"
+  "CMakeFiles/mfs_test.dir/mfs_test.cc.o.d"
+  "mfs_test"
+  "mfs_test.pdb"
+  "mfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

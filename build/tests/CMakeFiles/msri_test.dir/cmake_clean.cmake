@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msri_test.dir/msri_test.cc.o"
+  "CMakeFiles/msri_test.dir/msri_test.cc.o.d"
+  "msri_test"
+  "msri_test.pdb"
+  "msri_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msri_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

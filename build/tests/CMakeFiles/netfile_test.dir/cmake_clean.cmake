@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfile_test.dir/netfile_test.cc.o"
+  "CMakeFiles/netfile_test.dir/netfile_test.cc.o.d"
+  "netfile_test"
+  "netfile_test.pdb"
+  "netfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

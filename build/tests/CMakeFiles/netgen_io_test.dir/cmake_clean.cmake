@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netgen_io_test.dir/netgen_io_test.cc.o"
+  "CMakeFiles/netgen_io_test.dir/netgen_io_test.cc.o.d"
+  "netgen_io_test"
+  "netgen_io_test.pdb"
+  "netgen_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netgen_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pairwise_test.cc" "tests/CMakeFiles/pairwise_test.dir/pairwise_test.cc.o" "gcc" "tests/CMakeFiles/pairwise_test.dir/pairwise_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/msn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/msn_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/msn_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/netgen/CMakeFiles/msn_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/msn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/elmore/CMakeFiles/msn_elmore.dir/DependInfo.cmake"
+  "/root/repo/build/src/rctree/CMakeFiles/msn_rctree.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/msn_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/msn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/msn_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

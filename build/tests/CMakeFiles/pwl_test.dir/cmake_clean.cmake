@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwl_test.dir/pwl_test.cc.o"
+  "CMakeFiles/pwl_test.dir/pwl_test.cc.o.d"
+  "pwl_test"
+  "pwl_test.pdb"
+  "pwl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rctree_test.dir/rctree_test.cc.o"
+  "CMakeFiles/rctree_test.dir/rctree_test.cc.o.d"
+  "rctree_test"
+  "rctree_test.pdb"
+  "rctree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rctree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

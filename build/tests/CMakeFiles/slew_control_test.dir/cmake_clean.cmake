@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slew_control_test.dir/slew_control_test.cc.o"
+  "CMakeFiles/slew_control_test.dir/slew_control_test.cc.o.d"
+  "slew_control_test"
+  "slew_control_test.pdb"
+  "slew_control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slew_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/van_ginneken_test.dir/van_ginneken_test.cc.o"
+  "CMakeFiles/van_ginneken_test.dir/van_ginneken_test.cc.o.d"
+  "van_ginneken_test"
+  "van_ginneken_test.pdb"
+  "van_ginneken_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/van_ginneken_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

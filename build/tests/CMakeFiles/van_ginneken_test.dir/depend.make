@@ -1,0 +1,2 @@
+# Empty dependencies file for van_ginneken_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_cli.dir/msn_cli.cc.o"
+  "CMakeFiles/msn_cli.dir/msn_cli.cc.o.d"
+  "msn_cli"
+  "msn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
