@@ -28,28 +28,43 @@ struct SubtreeTiming {
 
 ArdResult ComputeArd(const RcTree& tree, const RepeaterAssignment& repeaters,
                      const DriverAssignment& drivers, const Technology& tech,
-                     NodeId root) {
+                     NodeId root, obs::StatsSink* sink) {
+  const obs::ScopedTimer total_timer(sink != nullptr ? sink->ard_total
+                                                     : nullptr);
   if (root == kNoNode) root = 0;
-  // A buffered insertion point cannot serve as the orientation root (the
-  // decoupling logic needs the repeater between a parent and a child);
-  // walk to the nearest unbuffered node — the ARD is root-independent and
-  // terminals are never buffered, so the walk terminates.
-  NodeId prev = kNoNode;
-  while (repeaters.Has(root)) {
-    const auto& adj = tree.AdjacentEdges(root);
-    const RcEdge& e0 = tree.Edge(adj[0]);
-    const NodeId n0 = e0.a == root ? e0.b : e0.a;
-    const RcEdge& e1 = tree.Edge(adj[1]);
-    const NodeId n1 = e1.a == root ? e1.b : e1.a;
-    const NodeId next = n0 == prev ? n1 : n0;
-    prev = root;
-    root = next;
-  }
-  const RootedTree rooted(tree, root);
-  const CapAnalysis caps = ComputeCaps(rooted, repeaters, drivers, tech);
+  // Pass 1 (rooting): orient the tree.  A buffered insertion point cannot
+  // serve as the orientation root (the decoupling logic needs the repeater
+  // between a parent and a child); walk to the nearest unbuffered node —
+  // the ARD is root-independent and terminals are never buffered, so the
+  // walk terminates.
+  const RootedTree rooted = [&] {
+    const obs::ScopedTimer timer(sink != nullptr ? sink->ard_rooting
+                                                 : nullptr);
+    NodeId prev = kNoNode;
+    while (repeaters.Has(root)) {
+      const auto& adj = tree.AdjacentEdges(root);
+      const RcEdge& e0 = tree.Edge(adj[0]);
+      const NodeId n0 = e0.a == root ? e0.b : e0.a;
+      const RcEdge& e1 = tree.Edge(adj[1]);
+      const NodeId n1 = e1.a == root ? e1.b : e1.a;
+      const NodeId next = n0 == prev ? n1 : n0;
+      prev = root;
+      root = next;
+    }
+    return RootedTree(tree, root);
+  }();
+  // Pass 2 (capacitance): eqs. (1)-(2) up/down capacitances per node.
+  const CapAnalysis caps = [&] {
+    const obs::ScopedTimer timer(sink != nullptr ? sink->ard_caps
+                                                 : nullptr);
+    return ComputeCaps(rooted, repeaters, drivers, tech);
+  }();
   const std::vector<EffectiveTerminal> terms =
       ResolveTerminals(tree, drivers);
 
+  // Pass 3 (combine): the single depth-first accumulation of Fig. 2.
+  const obs::ScopedTimer combine_timer(sink != nullptr ? sink->ard_combine
+                                                       : nullptr);
   std::vector<SubtreeTiming> acc(tree.NumNodes());
   const std::vector<NodeId>& pre = rooted.Preorder();
 
@@ -143,9 +158,11 @@ ArdResult ComputeArd(const RcTree& tree, const RepeaterAssignment& repeaters,
   return result;
 }
 
-ArdResult ComputeArd(const RcTree& tree, const Technology& tech) {
+ArdResult ComputeArd(const RcTree& tree, const Technology& tech,
+                     obs::StatsSink* sink) {
   return ComputeArd(tree, RepeaterAssignment(tree.NumNodes()),
-                    DriverAssignment(tree.NumTerminals()), tech);
+                    DriverAssignment(tree.NumTerminals()), tech, kNoNode,
+                    sink);
 }
 
 }  // namespace msn

@@ -14,6 +14,7 @@
 #define MSN_CORE_ARD_H
 
 #include "elmore/delay.h"
+#include "obs/stats.h"
 #include "rctree/assignment.h"
 #include "rctree/rctree.h"
 #include "tech/tech.h"
@@ -23,12 +24,16 @@ namespace msn {
 /// Computes ARD(T) with the linear-time algorithm.  `root` may be any
 /// node (kNoNode picks node 0); the result is root-independent.
 /// Returns ard_ps = -inf and no pair when the net has no source/sink pair.
+/// A non-null `sink` records the wall time of the three passes (rooting,
+/// capacitance analysis, bottom-up combine) into the shared observability
+/// registry; null (the default) disables instrumentation at zero cost.
 ArdResult ComputeArd(const RcTree& tree, const RepeaterAssignment& repeaters,
                      const DriverAssignment& drivers, const Technology& tech,
-                     NodeId root = kNoNode);
+                     NodeId root = kNoNode, obs::StatsSink* sink = nullptr);
 
 /// Convenience overload: no repeaters, default drivers.
-ArdResult ComputeArd(const RcTree& tree, const Technology& tech);
+ArdResult ComputeArd(const RcTree& tree, const Technology& tech,
+                     obs::StatsSink* sink = nullptr);
 
 }  // namespace msn
 

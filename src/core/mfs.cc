@@ -25,7 +25,7 @@ void PairwisePrune(SolutionSet& set, const MfsOptions& options,
     for (std::size_t j = 0; j < set.size(); ++j) {
       if (i == j || !set[j] || !set[i]) continue;
       if (stats) ++stats->comparisons;
-      if (PruneByDominance(*set[i], *set[j], options)) {
+      if (PruneByDominance(*set[i], *set[j], options, stats)) {
         if (stats) ++stats->pruned;
         set[j] = nullptr;
       }
@@ -40,13 +40,13 @@ void CrossPrune(SolutionSet& left, SolutionSet& right,
     for (SolutionPtr& r : right) {
       if (!r || !l) break;
       if (stats) ++stats->comparisons;
-      if (PruneByDominance(*l, *r, options)) {
+      if (PruneByDominance(*l, *r, options, stats)) {
         if (stats) ++stats->pruned;
         r = nullptr;
         continue;
       }
       if (stats) ++stats->comparisons;
-      if (PruneByDominance(*r, *l, options)) {
+      if (PruneByDominance(*r, *l, options, stats)) {
         if (stats) ++stats->pruned;
         l = nullptr;
       }
@@ -82,7 +82,7 @@ void MfsRecurse(SolutionSet& set, const MfsOptions& options,
 }  // namespace
 
 bool PruneByDominance(const MsriSolution& dominator, MsriSolution& victim,
-                      const MfsOptions& options) {
+                      const MfsOptions& options, MfsStats* stats) {
   if (victim.valid.Empty()) return true;
   if (&dominator == &victim) return false;
   // Parity classes are incomparable: a later inverter turns one into the
@@ -111,28 +111,54 @@ bool PruneByDominance(const MsriSolution& dominator, MsriSolution& victim,
                            .Intersect(dominator.valid);
   if (region.Empty()) return false;
   victim.valid = victim.valid.Subtract(region);
-  return victim.valid.Empty();
+  if (!victim.valid.Empty()) {
+    if (stats) ++stats->pruned_partial;
+    return false;
+  }
+  return true;
 }
 
 SolutionSet ComputeMfs(SolutionSet set, const MfsOptions& options,
-                       MfsStats* stats) {
+                       MfsStats* stats, obs::StatsSink* sink) {
+  const obs::ScopedTimer timer(sink != nullptr ? sink->mfs_time : nullptr);
+  // The sink needs per-call deltas even when the caller passes no stats.
+  MfsStats local;
+  if (stats == nullptr && sink != nullptr) stats = &local;
+  const MfsStats before = stats != nullptr ? *stats : MfsStats{};
+  const std::size_t candidates_in = set.size();
+  if (stats) {
+    ++stats->calls;
+    stats->candidates_in += candidates_in;
+  }
+
   std::erase_if(set,
                 [](const SolutionPtr& s) { return !s || s->valid.Empty(); });
   if (options.mode == MfsOptions::Mode::kOff || set.size() < 2) {
     SortByCostCap(set);
-    return set;
-  }
-  // Sorting by (cost, cap) first puts likely dominators early, making the
-  // divide-and-conquer discard suboptimal solutions deep in the recursion
-  // (the paper's Section V implementation note).
-  SortByCostCap(set);
-  if (options.mode == MfsOptions::Mode::kQuadratic) {
-    PairwisePrune(set, options, stats);
-    Compact(set);
   } else {
-    MfsRecurse(set, options, stats);
+    // Sorting by (cost, cap) first puts likely dominators early, making
+    // the divide-and-conquer discard suboptimal solutions deep in the
+    // recursion (the paper's Section V implementation note).
+    SortByCostCap(set);
+    if (options.mode == MfsOptions::Mode::kQuadratic) {
+      PairwisePrune(set, options, stats);
+      Compact(set);
+    } else {
+      MfsRecurse(set, options, stats);
+    }
+    SortByCostCap(set);
   }
-  SortByCostCap(set);
+
+  if (stats) stats->candidates_out += set.size();
+  if (sink != nullptr) {
+    sink->mfs_calls->Add(1);
+    sink->mfs_candidates_in->Add(candidates_in);
+    sink->mfs_candidates_out->Add(set.size());
+    sink->mfs_comparisons->Add(stats->comparisons - before.comparisons);
+    sink->mfs_pruned_full->Add(stats->pruned - before.pruned);
+    sink->mfs_pruned_partial->Add(stats->pruned_partial -
+                                  before.pruned_partial);
+  }
   return set;
 }
 

@@ -20,6 +20,7 @@
 #include <cstddef>
 
 #include "core/solution.h"
+#include "obs/stats.h"
 
 namespace msn {
 
@@ -60,22 +61,31 @@ struct MfsOptions {
 
 /// Statistics of one ComputeMfs call (accumulated across a DP run).
 struct MfsStats {
+  std::size_t calls = 0;           ///< ComputeMfs invocations.
+  std::size_t candidates_in = 0;   ///< Solutions entering the pruner.
+  std::size_t candidates_out = 0;  ///< Survivors after pruning.
   std::size_t comparisons = 0;  ///< Pairwise dominance tests performed.
   std::size_t pruned = 0;       ///< Solutions fully invalidated.
+  std::size_t pruned_partial = 0;  ///< Partial-domain prunes (valid shrank
+                                   ///< without emptying).
 };
 
 /// Prunes `set` to (a superset of) its minimal functional subset.
 /// Solutions whose valid region empties are removed; others may come back
 /// with a reduced `valid`.  Order of survivors: sorted by (cost, cap).
+/// A non-null `sink` additionally records wall time and the candidate
+/// in/out flow into the shared observability registry.
 SolutionSet ComputeMfs(SolutionSet set, const MfsOptions& options,
-                       MfsStats* stats = nullptr);
+                       MfsStats* stats = nullptr,
+                       obs::StatsSink* sink = nullptr);
 
 /// Single dominance test: shrinks victim->valid by the region where
 /// `dominator` (on its own valid region) is no worse in all five
 /// dimensions (up to the per-dimension slacks).  Returns true if the
-/// victim became fully invalid.
+/// victim became fully invalid; partial-domain prunes are counted into
+/// `stats` when given.
 bool PruneByDominance(const MsriSolution& dominator, MsriSolution& victim,
-                      const MfsOptions& options);
+                      const MfsOptions& options, MfsStats* stats = nullptr);
 
 }  // namespace msn
 

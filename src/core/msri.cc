@@ -17,6 +17,8 @@ struct Context {
   const Technology& tech;
   const MsriOptions& options;
   MsriStats* stats;
+  /// Observability sink; null disables all recording (see MsriOptions).
+  obs::StatsSink* sink;
   /// Upper bound on any reachable external capacitance: the whole net's
   /// capacitance (wires at maximum width, fattest pins, every insertion
   /// point buffered with the fattest repeater side).  Solutions only need
@@ -33,11 +35,21 @@ struct Context {
           std::max({stats->max_pwl_segments, s->arr.NumSegments(),
                     s->diam.NumSegments()});
     }
+    if (sink != nullptr) {
+      sink->msri_set_size->Record(static_cast<double>(set.size()));
+    }
+  }
+
+  /// The phase's timer when instrumentation is on, else null (ScopedTimer
+  /// then skips the clock entirely).
+  obs::Timer* PhaseTimer(obs::Timer* obs::StatsSink::* member) const {
+    return sink != nullptr ? sink->*member : nullptr;
   }
 };
 
 /// Fig. 6: one solution per driver option of the terminal at leaf `v`.
 SolutionSet LeafSolutions(Context& ctx, NodeId v) {
+  const obs::ScopedTimer timer(ctx.PhaseTimer(&obs::StatsSink::msri_leaf));
   const std::size_t t = ctx.tree.Node(v).terminal_index;
   const TerminalParams& params = ctx.tree.Terminal(t);
 
@@ -82,6 +94,8 @@ SolutionSet LeafSolutions(Context& ctx, NodeId v) {
 /// (resistance /w, capacitance ·w, extra area cost — the paper's
 /// conclusions' extension after [15],[20]).
 SolutionSet Augment(Context& ctx, NodeId v, const SolutionSet& below) {
+  const obs::ScopedTimer timer(
+      ctx.PhaseTimer(&obs::StatsSink::msri_augment));
   const double base_re = ctx.rooted.ParentRes(v);
   const double base_ce = ctx.rooted.ParentCap(v);
   const double len = ctx.rooted.ParentLengthUm(v);
@@ -143,6 +157,7 @@ SolutionSet Augment(Context& ctx, NodeId v, const SolutionSet& below) {
 /// monotone) and keeps peak memory proportional to the survivors.
 SolutionSet JoinSets(Context& ctx, NodeId v, const SolutionSet& s1set,
                      const SolutionSet& s2set) {
+  const obs::ScopedTimer timer(ctx.PhaseTimer(&obs::StatsSink::msri_join));
   std::size_t prune_at =
       std::max<std::size_t>(4096, 4 * (s1set.size() + s2set.size()));
   SolutionSet out;
@@ -198,8 +213,8 @@ SolutionSet JoinSets(Context& ctx, NodeId v, const SolutionSet& s1set,
       j->pred2 = s2;
       out.push_back(std::move(j));
       if (out.size() >= prune_at) {
-        out = ComputeMfs(std::move(out), ctx.options.mfs,
-                         &ctx.stats->mfs);
+        out = ComputeMfs(std::move(out), ctx.options.mfs, &ctx.stats->mfs,
+                         ctx.sink);
         // Double the threshold relative to the survivors so a poorly
         // pruning set cannot trigger quadratic re-pruning.
         prune_at = std::max(prune_at, 2 * out.size());
@@ -214,6 +229,8 @@ SolutionSet JoinSets(Context& ctx, NodeId v, const SolutionSet& s1set,
 /// solutions remain candidates (insertion is optional).
 SolutionSet RepeaterSolutions(Context& ctx, NodeId v, SolutionSet set) {
   if (!ctx.options.insert_repeaters) return set;
+  const obs::ScopedTimer timer(
+      ctx.PhaseTimer(&obs::StatsSink::msri_repeater));
   SolutionSet buffered;
   for (const SolutionPtr& s : set) {
     for (std::size_t ri = 0; ri < ctx.tech.repeaters.size(); ++ri) {
@@ -266,14 +283,15 @@ SolutionSet CombineChildren(Context& ctx, NodeId v) {
     // Pruning the augmented set before the join keeps the pairwise
     // product small — essential once wire sizing multiplies each set by
     // the number of width choices.
-    SolutionSet augmented = ComputeMfs(Augment(ctx, c, Solve(ctx, c)),
-                                       ctx.options.mfs, &ctx.stats->mfs);
+    SolutionSet augmented =
+        ComputeMfs(Augment(ctx, c, Solve(ctx, c)), ctx.options.mfs,
+                   &ctx.stats->mfs, ctx.sink);
     if (first) {
       acc = std::move(augmented);
       first = false;
     } else {
       acc = ComputeMfs(JoinSets(ctx, v, acc, augmented), ctx.options.mfs,
-                       &ctx.stats->mfs);
+                       &ctx.stats->mfs, ctx.sink);
     }
   }
   return acc;
@@ -292,7 +310,8 @@ SolutionSet Solve(Context& ctx, NodeId v) {
       set = RepeaterSolutions(ctx, v, std::move(set));
     }
   }
-  set = ComputeMfs(std::move(set), ctx.options.mfs, &ctx.stats->mfs);
+  set = ComputeMfs(std::move(set), ctx.options.mfs, &ctx.stats->mfs,
+                   ctx.sink);
   ctx.Record(set);
   if (ctx.options.set_observer) ctx.options.set_observer(v, set);
   return set;
@@ -309,6 +328,7 @@ struct RootCandidate {
 /// Fig. 9: close the recursion at the root terminal.
 std::vector<RootCandidate> RootSolutions(Context& ctx, NodeId root,
                                          const SolutionSet& below) {
+  const obs::ScopedTimer timer(ctx.PhaseTimer(&obs::StatsSink::msri_root));
   const RcNode& node = ctx.tree.Node(root);
   MSN_CHECK_MSG(node.kind == NodeKind::kTerminal,
                 "MSRI must be rooted at a terminal (paper Section IV)");
@@ -480,16 +500,40 @@ MsriResult RunMsri(const RcTree& tree, const Technology& tech,
   x_max *= 1.0 + 1e-9;  // Guard the boundary against rounding.
 
   MsriResult result;
-  Context ctx{tree, rooted, tech, options, &result.stats_, x_max};
+  Context ctx{tree, rooted, tech, options, &result.stats_, options.stats,
+              x_max};
 
-  const SolutionSet below = CombineChildren(ctx, root);
-  const std::vector<RootCandidate> pareto = ParetoByCostDelay(
-      RootSolutions(ctx, root, below),
-      [](const RootCandidate& c) { return c.cost; },
-      [](const RootCandidate& c) { return c.ard; });
-  result.pareto_.reserve(pareto.size());
-  for (const RootCandidate& c : pareto) {
-    result.pareto_.push_back(Materialize(ctx, c));
+  {
+    // While the DP runs, the PWL primitives report breakpoint counts to
+    // this run's sink (no-op scope when instrumentation is off).
+    const obs::PwlStatsScope pwl_scope(ctx.sink);
+    const obs::ScopedTimer total(
+        ctx.PhaseTimer(&obs::StatsSink::msri_total));
+    const SolutionSet below = CombineChildren(ctx, root);
+    const std::vector<RootCandidate> pareto = ParetoByCostDelay(
+        RootSolutions(ctx, root, below),
+        [](const RootCandidate& c) { return c.cost; },
+        [](const RootCandidate& c) { return c.ard; });
+    result.pareto_.reserve(pareto.size());
+    for (const RootCandidate& c : pareto) {
+      result.pareto_.push_back(Materialize(ctx, c));
+    }
+  }
+  if (ctx.sink != nullptr) {
+    ctx.sink->msri_solutions->Add(result.stats_.solutions_generated);
+    obs::RunStats& reg = ctx.sink->Registry();
+    reg.SetValue("msri.pareto_points",
+                 static_cast<double>(result.pareto_.size()));
+    reg.SetValue("msri.max_set_size",
+                 static_cast<double>(result.stats_.max_set_size));
+    reg.SetValue("msri.max_pwl_segments",
+                 static_cast<double>(result.stats_.max_pwl_segments));
+    const MfsStats& mfs = result.stats_.mfs;
+    reg.SetValue("mfs.prune_rate",
+                 mfs.candidates_in == 0
+                     ? 0.0
+                     : 1.0 - static_cast<double>(mfs.candidates_out) /
+                                 static_cast<double>(mfs.candidates_in));
   }
   return result;
 }

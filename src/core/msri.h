@@ -36,6 +36,7 @@
 
 #include "core/mfs.h"
 #include "core/solution.h"
+#include "obs/stats.h"
 #include "rctree/assignment.h"
 #include "rctree/rctree.h"
 #include "tech/tech.h"
@@ -76,6 +77,12 @@ struct MsriOptions {
   /// is required (paper Section IV).
   NodeId root = kNoNode;
   MfsOptions mfs;
+  /// Observability sink (see src/obs/stats.h and docs/OBSERVABILITY.md):
+  /// when non-null, the DP records per-phase wall time and invocation
+  /// counts (Figs. 6-10), MFS candidate flow and prune events, per-node
+  /// set sizes, and PWL breakpoint growth into the sink's registry.
+  /// Null (the default) disables instrumentation at zero cost.
+  obs::StatsSink* stats = nullptr;
   /// Debug/teaching hook: invoked with every node's finalized solution
   /// set as the bottom-up pass completes it (after MFS pruning).
   std::function<void(NodeId, const SolutionSet&)> set_observer;

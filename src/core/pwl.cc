@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/check.h"
+#include "obs/stats.h"
 
 namespace msn {
 namespace {
@@ -54,17 +55,22 @@ double Pwl::Eval(double x) const {
 
 Pwl& Pwl::AddScalar(double s) {
   for (PwlSegment& seg : segments_) seg.intercept += s;
+  obs::RecordPwl(obs::PwlPrimitive::kAddScalar, segments_.size());
   return *this;
 }
 
 Pwl& Pwl::AddSlope(double m) {
   for (PwlSegment& seg : segments_) seg.slope += m;
+  obs::RecordPwl(obs::PwlPrimitive::kAddSlope, segments_.size());
   return *this;
 }
 
 Pwl Pwl::Shifted(double delta) const {
   MSN_CHECK_MSG(delta >= 0.0, "Pwl shift by negative delta = " << delta);
-  if (segments_.empty() || delta == 0.0) return *this;
+  if (segments_.empty() || delta == 0.0) {
+    obs::RecordPwl(obs::PwlPrimitive::kShift, segments_.size());
+    return *this;
+  }
   std::vector<PwlSegment> out;
   out.reserve(segments_.size());
   for (std::size_t i = 0; i < segments_.size(); ++i) {
@@ -80,12 +86,19 @@ Pwl Pwl::Shifted(double delta) const {
     AppendSegment(out, t);
   }
   MSN_DCHECK(!out.empty() && out.front().x_lo == 0.0);
+  obs::RecordPwl(obs::PwlPrimitive::kShift, out.size());
   return Pwl(std::move(out));
 }
 
 Pwl Pwl::Max(const Pwl& f, const Pwl& g) {
-  if (f.IsNegInf()) return g;
-  if (g.IsNegInf()) return f;
+  if (f.IsNegInf()) {
+    obs::RecordPwl(obs::PwlPrimitive::kMax, g.NumSegments());
+    return g;
+  }
+  if (g.IsNegInf()) {
+    obs::RecordPwl(obs::PwlPrimitive::kMax, f.NumSegments());
+    return f;
+  }
 
   const std::vector<double> xs = MergedBreakpoints(f, g);
   std::vector<PwlSegment> out;
@@ -118,6 +131,7 @@ Pwl Pwl::Max(const Pwl& f, const Pwl& g) {
       AppendSegment(out, {a, w.intercept, w.slope});
     }
   }
+  obs::RecordPwl(obs::PwlPrimitive::kMax, out.size());
   return Pwl(std::move(out));
 }
 

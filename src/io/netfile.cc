@@ -8,7 +8,19 @@
 #include "common/check.h"
 
 namespace msn {
+
+ParseError::ParseError(std::size_t line, const std::string& message)
+    : CheckError(line == 0
+                     ? message
+                     : "line " + std::to_string(line) + ": " + message),
+      line_(line) {}
+
 namespace {
+
+/// Throws ParseError for malformed input at `line` (0 = whole file).
+[[noreturn]] void FailAt(std::size_t line, const std::string& message) {
+  throw ParseError(line, message);
+}
 
 const char* KindName(NodeKind kind) {
   switch (kind) {
@@ -23,9 +35,7 @@ NodeKind ParseKind(const std::string& token, std::size_t line) {
   if (token == "terminal") return NodeKind::kTerminal;
   if (token == "steiner") return NodeKind::kSteiner;
   if (token == "insertion") return NodeKind::kInsertion;
-  MSN_CHECK_MSG(false, "line " << line << ": unknown node kind '" << token
-                               << "'");
-  return NodeKind::kSteiner;
+  FailAt(line, "unknown node kind '" + token + "'");
 }
 
 }  // namespace
@@ -87,66 +97,69 @@ RcTree ReadNet(std::istream& is) {
 
     if (tag == "msn-net") {
       int version = 0;
-      MSN_CHECK_MSG(static_cast<bool>(ls >> version) && version == 1,
-                    "line " << line_no << ": unsupported msn-net version");
+      if (!(ls >> version) || version != 1) {
+        FailAt(line_no, "unsupported msn-net version");
+      }
       saw_header = true;
       continue;
     }
-    MSN_CHECK_MSG(saw_header,
-                  "line " << line_no << ": missing 'msn-net 1' header");
+    if (!saw_header) FailAt(line_no, "missing 'msn-net 1' header");
     if (tag == "wire") {
       WireParams w;
-      MSN_CHECK_MSG(static_cast<bool>(ls >> w.res_per_um >> w.cap_per_um),
-                    "line " << line_no << ": malformed wire record");
+      if (!(ls >> w.res_per_um >> w.cap_per_um)) {
+        FailAt(line_no, "malformed wire record");
+      }
       wire = w;
     } else if (tag == "node") {
       NodeId id;
       std::string kind;
       NodeRecord rec;
-      MSN_CHECK_MSG(static_cast<bool>(ls >> id >> kind >> rec.pos.x >>
-                                      rec.pos.y),
-                    "line " << line_no << ": malformed node record");
+      if (!(ls >> id >> kind >> rec.pos.x >> rec.pos.y)) {
+        FailAt(line_no, "malformed node record");
+      }
       rec.kind = ParseKind(kind, line_no);
-      MSN_CHECK_MSG(nodes.emplace(id, rec).second,
-                    "line " << line_no << ": duplicate node " << id);
+      if (!nodes.emplace(id, rec).second) {
+        FailAt(line_no, "duplicate node " + std::to_string(id));
+      }
     } else if (tag == "terminal") {
       NodeId id;
       TerminalParams p;
       int is_source = 1, is_sink = 1;
-      MSN_CHECK_MSG(
-          static_cast<bool>(
-              ls >> id >> p.arrival_ps >> p.downstream_ps >> is_source >>
-              is_sink >> p.driver.pin_cap >> p.driver.driver_res >>
-              p.driver.driver_intrinsic_ps >> p.driver.arrival_extra_ps >>
-              p.driver.downstream_extra_ps >> p.driver.cost),
-          "line " << line_no << ": malformed terminal record");
+      if (!(ls >> id >> p.arrival_ps >> p.downstream_ps >> is_source >>
+            is_sink >> p.driver.pin_cap >> p.driver.driver_res >>
+            p.driver.driver_intrinsic_ps >> p.driver.arrival_extra_ps >>
+            p.driver.downstream_extra_ps >> p.driver.cost)) {
+        FailAt(line_no, "malformed terminal record");
+      }
       p.is_source = is_source != 0;
       p.is_sink = is_sink != 0;
       p.driver.name = "from-file";
-      MSN_CHECK_MSG(terminals.emplace(id, p).second,
-                    "line " << line_no << ": duplicate terminal at node "
-                            << id);
+      if (!terminals.emplace(id, p).second) {
+        FailAt(line_no, "duplicate terminal at node " + std::to_string(id));
+      }
     } else if (tag == "edge") {
       EdgeRecord e;
-      MSN_CHECK_MSG(static_cast<bool>(ls >> e.a >> e.b >> e.length),
-                    "line " << line_no << ": malformed edge record");
+      if (!(ls >> e.a >> e.b >> e.length)) {
+        FailAt(line_no, "malformed edge record");
+      }
       edges.push_back(e);
     } else if (tag == "end") {
       saw_end = true;
     } else {
-      MSN_CHECK_MSG(false,
-                    "line " << line_no << ": unknown record '" << tag << "'");
+      FailAt(line_no, "unknown record '" + tag + "'");
     }
   }
-  MSN_CHECK_MSG(saw_end, "missing 'end' record");
-  MSN_CHECK_MSG(wire.has_value(), "missing wire record");
-  MSN_CHECK_MSG(!nodes.empty(), "net has no nodes");
+  if (!saw_end) FailAt(0, "missing 'end' record");
+  if (!wire.has_value()) FailAt(0, "missing wire record");
+  if (nodes.empty()) FailAt(0, "net has no nodes");
 
   // Ids must be dense 0..n-1 (std::map iterates in order).
   NodeId expected = 0;
   for (const auto& [id, rec] : nodes) {
-    MSN_CHECK_MSG(id == expected, "node ids must be dense; missing node "
-                                      << expected);
+    if (id != expected) {
+      FailAt(0, "node ids must be dense; missing node " +
+                    std::to_string(expected));
+    }
     ++expected;
   }
 
@@ -154,15 +167,18 @@ RcTree ReadNet(std::istream& is) {
   for (const auto& [id, rec] : nodes) {
     if (rec.kind == NodeKind::kTerminal) {
       const auto it = terminals.find(id);
-      MSN_CHECK_MSG(it != terminals.end(),
-                    "terminal node " << id << " has no terminal record");
+      if (it == terminals.end()) {
+        FailAt(0, "terminal node " + std::to_string(id) +
+                      " has no terminal record");
+      }
       tree.AddTerminal(it->second, rec.pos);
     } else {
       tree.AddNode(rec.kind, rec.pos);
     }
   }
-  MSN_CHECK_MSG(terminals.size() == tree.NumTerminals(),
-                "terminal record for a non-terminal node");
+  if (terminals.size() != tree.NumTerminals()) {
+    FailAt(0, "terminal record for a non-terminal node");
+  }
   for (const EdgeRecord& e : edges) {
     tree.AddEdge(e.a, e.b, e.length);
   }
@@ -209,38 +225,41 @@ SolutionFile ReadSolution(std::istream& is, const RcTree& tree) {
     if (tag == "repeater") {
       NodeId v, a_side;
       std::size_t index;
-      MSN_CHECK_MSG(static_cast<bool>(ls >> v >> index >> a_side),
-                    "line " << line_no << ": malformed repeater record");
-      MSN_CHECK_MSG(v < tree.NumNodes() &&
-                        tree.Node(v).kind == NodeKind::kInsertion,
-                    "line " << line_no
-                            << ": repeater must sit on an insertion point");
+      if (!(ls >> v >> index >> a_side)) {
+        FailAt(line_no, "malformed repeater record");
+      }
+      if (v >= tree.NumNodes() ||
+          tree.Node(v).kind != NodeKind::kInsertion) {
+        FailAt(line_no, "repeater must sit on an insertion point");
+      }
       sol.repeaters.Place(v, PlacedRepeater{index, a_side});
     } else if (tag == "driver") {
       std::size_t t;
       TerminalOption o;
-      MSN_CHECK_MSG(
-          static_cast<bool>(ls >> t >> o.cost >> o.arrival_extra_ps >>
-                            o.driver_res >> o.driver_intrinsic_ps >>
-                            o.pin_cap >> o.downstream_extra_ps >> o.name),
-          "line " << line_no << ": malformed driver record");
-      MSN_CHECK_MSG(t < tree.NumTerminals(),
-                    "line " << line_no << ": terminal out of range");
+      if (!(ls >> t >> o.cost >> o.arrival_extra_ps >> o.driver_res >>
+            o.driver_intrinsic_ps >> o.pin_cap >> o.downstream_extra_ps >>
+            o.name)) {
+        FailAt(line_no, "malformed driver record");
+      }
+      if (t >= tree.NumTerminals()) {
+        FailAt(line_no, "terminal out of range");
+      }
       sol.drivers.Choose(t, std::move(o));
     } else if (tag == "width") {
       std::size_t e;
       double w;
-      MSN_CHECK_MSG(static_cast<bool>(ls >> e >> w),
-                    "line " << line_no << ": malformed width record");
-      MSN_CHECK_MSG(e < tree.NumEdges(),
-                    "line " << line_no << ": edge index out of range");
+      if (!(ls >> e >> w)) {
+        FailAt(line_no, "malformed width record");
+      }
+      if (e >= tree.NumEdges()) {
+        FailAt(line_no, "edge index out of range");
+      }
       if (sol.wire_widths.empty()) {
         sol.wire_widths.assign(tree.NumEdges(), 1.0);
       }
       sol.wire_widths[e] = w;
     } else {
-      MSN_CHECK_MSG(false,
-                    "line " << line_no << ": unknown record '" << tag << "'");
+      FailAt(line_no, "unknown record '" + tag + "'");
     }
   }
   return sol;

@@ -25,21 +25,37 @@
 #ifndef MSN_IO_NETFILE_H
 #define MSN_IO_NETFILE_H
 
+#include <cstddef>
 #include <iosfwd>
 #include <optional>
 #include <string>
 
+#include "common/check.h"
 #include "core/msri.h"
 #include "rctree/rctree.h"
 #include "tech/tech.h"
 
 namespace msn {
 
+/// Thrown by ReadNet/ReadSolution on malformed input.  Derives from
+/// CheckError (so generic handlers keep working) but carries the offending
+/// line number, letting callers produce a precise one-line diagnostic.
+/// Line() is 0 for whole-file problems (e.g. a missing `end` record).
+class ParseError : public CheckError {
+ public:
+  ParseError(std::size_t line, const std::string& message);
+  std::size_t Line() const { return line_; }
+
+ private:
+  std::size_t line_ = 0;
+};
+
 /// Writes the net (structure + terminal electricals) in .msn format.
 void WriteNet(std::ostream& os, const RcTree& tree);
 
-/// Parses a .msn stream.  Throws msn::CheckError with a line number on
-/// malformed input; the returned tree is validated.
+/// Parses a .msn stream.  Throws msn::ParseError with the offending line
+/// number on malformed input; the returned tree is validated (structural
+/// violations surface as CheckError from RcTree::Validate).
 RcTree ReadNet(std::istream& is);
 
 /// Writes `point`'s assignments (after a WriteNet header) so a solution

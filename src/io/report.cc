@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "io/table.h"
 
 namespace msn {
 namespace {
@@ -174,6 +175,49 @@ std::string RenderAscii(const RcTree& tree,
   std::ostringstream os;
   for (const std::string& row : canvas) os << row << '\n';
   return os.str();
+}
+
+void DescribeStats(std::ostream& os, const obs::RunStats& stats) {
+  for (const auto& [key, value] : stats.Labels()) {
+    os << key << ": " << value << '\n';
+  }
+  if (!stats.Labels().empty()) os << '\n';
+
+  if (!stats.Timers().empty()) {
+    TablePrinter t({"timer", "calls", "total (ms)", "mean (us)"});
+    for (const auto& [name, timer] : stats.Timers()) {
+      t.AddRow({name, std::to_string(timer.Calls()),
+                TablePrinter::Num(timer.TotalMs(), 3),
+                TablePrinter::Num(timer.MeanUs(), 2)});
+    }
+    t.Print(os);
+    os << '\n';
+  }
+  if (!stats.Counters().empty()) {
+    TablePrinter t({"counter", "value"});
+    for (const auto& [name, counter] : stats.Counters()) {
+      t.AddRow({name, std::to_string(counter.Value())});
+    }
+    t.Print(os);
+    os << '\n';
+  }
+  if (!stats.Histograms().empty()) {
+    TablePrinter t({"histogram", "count", "min", "mean", "max", "sum"});
+    for (const auto& [name, h] : stats.Histograms()) {
+      t.AddRow({name, std::to_string(h.Count()),
+                TablePrinter::Num(h.Min(), 1), TablePrinter::Num(h.Mean(), 2),
+                TablePrinter::Num(h.Max(), 1), TablePrinter::Num(h.Sum(), 0)});
+    }
+    t.Print(os);
+    os << '\n';
+  }
+  if (!stats.Values().empty()) {
+    TablePrinter t({"value", "amount"});
+    for (const auto& [name, v] : stats.Values()) {
+      t.AddRow({name, TablePrinter::Num(v, 4)});
+    }
+    t.Print(os);
+  }
 }
 
 }  // namespace msn

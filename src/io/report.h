@@ -11,6 +11,7 @@
 
 #include "core/msri.h"
 #include "elmore/delay.h"
+#include "obs/stats.h"
 #include "rctree/rctree.h"
 #include "tech/tech.h"
 
@@ -33,6 +34,11 @@ std::string RenderAscii(const RcTree& tree,
                         const RepeaterAssignment& repeaters,
                         std::size_t canvas_width = 64,
                         std::size_t canvas_height = 32);
+
+/// Tabular rendering of an instrumentation registry (phase timers,
+/// counters, histograms, result values) the way `msn_cli optimize --stats`
+/// presents it; the JSON twin is RunStats::RenderJson.
+void DescribeStats(std::ostream& os, const obs::RunStats& stats);
 
 /// Graphviz DOT export with true coordinates (render with `neato -n`):
 /// terminals as labeled boxes, Steiner points as dots, insertion points

@@ -19,7 +19,8 @@ function(run_cli expect_rc out_var)
     message(FATAL_ERROR "msn_cli ${ARGN} exited ${rc} (wanted"
                         " ${expect_rc}): ${out} ${err}")
   endif()
-  set(${out_var} "${out}" PARENT_SCOPE)
+  # Diagnostics go to stderr; concatenate so callers can match either.
+  set(${out_var} "${out}${err}" PARENT_SCOPE)
 endfunction()
 
 # Generate a net.
@@ -68,5 +69,25 @@ run_cli(1 out optimize net.msn --spec 1)
 # Unknown subcommands and missing files fail cleanly.
 run_cli(2 out bogus)
 run_cli(1 out ard missing.msn)
+
+# Malformed net files fail with exit code 1 and a one-line error naming
+# the offending line, never an unhandled exception or CHECK abort.
+file(WRITE ${WORK}/bad.msn "msn-net 1\nnode 0 terminal\nend\n")
+run_cli(1 out optimize bad.msn)
+if(NOT out MATCHES "error: .*line 2")
+  message(FATAL_ERROR "malformed-net error lacks a line number: ${out}")
+endif()
+
+file(WRITE ${WORK}/noheader.msn "hello\n")
+run_cli(1 out ard noheader.msn)
+if(NOT out MATCHES "error: ")
+  message(FATAL_ERROR "missing-header failure not reported: ${out}")
+endif()
+
+# Non-numeric flag values are a usage error, not an uncaught std::stod.
+run_cli(1 out optimize net.msn --spec abc)
+if(NOT out MATCHES "expects a number")
+  message(FATAL_ERROR "bad --spec value not diagnosed: ${out}")
+endif()
 
 message(STATUS "msn_cli end-to-end test passed")

@@ -1,0 +1,186 @@
+#include "obs/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "core/ard.h"
+#include "core/msri.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+using testing::SmallRandomNet;
+using testing::SmallTech;
+using testing::TwoPinLine;
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  obs::Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(Timer, RecordAccumulatesAndConverts) {
+  obs::Timer t;
+  EXPECT_EQ(t.Calls(), 0u);
+  t.Record(1'500'000);  // 1.5 ms.
+  t.Record(500'000);
+  EXPECT_EQ(t.Calls(), 2u);
+  EXPECT_EQ(t.TotalNs(), 2'000'000u);
+  EXPECT_DOUBLE_EQ(t.TotalMs(), 2.0);
+  EXPECT_DOUBLE_EQ(t.MeanUs(), 1000.0);
+}
+
+TEST(ScopedTimer, NullTimerIsANoOp) {
+  // Must not crash and must not read the clock.
+  const obs::ScopedTimer t(nullptr);
+}
+
+TEST(ScopedTimer, RecordsOneCall) {
+  obs::Timer timer;
+  { const obs::ScopedTimer t(&timer); }
+  EXPECT_EQ(timer.Calls(), 1u);
+}
+
+TEST(Histogram, TracksMomentsAndBuckets) {
+  obs::Histogram h;
+  h.Record(1.0);
+  h.Record(3.0);
+  h.Record(8.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 8.0);
+  EXPECT_DOUBLE_EQ(h.Sum(), 12.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 4.0);
+}
+
+TEST(RunStats, InstrumentsRegisterOnFirstUse) {
+  obs::RunStats stats;
+  EXPECT_TRUE(stats.Empty());
+  obs::Counter& c = stats.GetCounter("demo.count");
+  obs::Timer& t = stats.GetTimer("demo.time");
+  // Same name must return the same instrument (stable handles).
+  EXPECT_EQ(&stats.GetCounter("demo.count"), &c);
+  EXPECT_EQ(&stats.GetTimer("demo.time"), &t);
+  EXPECT_FALSE(stats.Empty());
+  EXPECT_EQ(stats.Counters().size(), 1u);
+  EXPECT_EQ(stats.Timers().size(), 1u);
+}
+
+TEST(RunStats, SinkRegistersTheMsriInstrumentSet) {
+  obs::RunStats stats;
+  const obs::StatsSink sink(&stats);
+  for (const char* name :
+       {"msri.leaf", "msri.augment", "msri.join", "msri.repeater",
+        "msri.root", "msri.total", "mfs.time", "ard.total"}) {
+    EXPECT_EQ(stats.Timers().count(name), 1u) << name;
+  }
+  EXPECT_EQ(stats.Counters().count("mfs.candidates_in"), 1u);
+  EXPECT_EQ(stats.Histograms().count("msri.set_size"), 1u);
+}
+
+TEST(RunStats, JsonContainsTheFiveDpPhases) {
+  obs::RunStats stats;
+  obs::StatsSink sink(&stats);
+
+  const Technology tech = SmallTech();
+  const RcTree tree = SmallRandomNet(tech, 5, 6, 9000, 800.0);
+  MsriOptions opt;
+  opt.stats = &sink;
+  const MsriResult result = RunMsri(tree, tech, opt);
+  ASSERT_FALSE(result.Pareto().empty());
+
+  const std::string json = stats.JsonString();
+  EXPECT_NE(json.find("\"schema\":\"msn-run-stats-v1\""), std::string::npos);
+  for (const char* phase :
+       {"\"msri.leaf\"", "\"msri.augment\"", "\"msri.join\"",
+        "\"msri.repeater\"", "\"msri.root\""}) {
+    EXPECT_NE(json.find(phase), std::string::npos) << phase;
+  }
+
+  // The DP actually passed through every phase at least once.
+  EXPECT_GT(stats.GetTimer("msri.leaf").Calls(), 0u);
+  EXPECT_GT(stats.GetTimer("msri.join").Calls(), 0u);
+  EXPECT_GT(stats.GetTimer("msri.root").Calls(), 0u);
+  EXPECT_GT(stats.GetTimer("msri.total").Calls(), 0u);
+  EXPECT_GT(stats.GetCounter("mfs.candidates_in").Value(), 0u);
+  EXPECT_GT(stats.GetHistogram("pwl.max.segments").Count(), 0u);
+}
+
+TEST(RunStats, DisabledSinkLeavesRegistryEmpty) {
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 2000.0, 1);
+
+  obs::RunStats stats;  // Never attached to any sink.
+  const MsriResult result = RunMsri(tree, tech);  // options.stats == nullptr.
+  ASSERT_FALSE(result.Pareto().empty());
+  ComputeArd(tree, tech);  // Default sink argument is nullptr too.
+  EXPECT_TRUE(stats.Empty());
+  EXPECT_NE(stats.JsonString().find("\"timers\":{}"), std::string::npos);
+}
+
+TEST(RunStats, MfsPruneCountersAreConsistent) {
+  obs::RunStats stats;
+  obs::StatsSink sink(&stats);
+  const Technology tech = SmallTech();
+  const RcTree tree = SmallRandomNet(tech, 4, 6, 9000, 800.0);
+  MsriOptions opt;
+  opt.stats = &sink;
+  RunMsri(tree, tech, opt);
+
+  const auto in = stats.GetCounter("mfs.candidates_in").Value();
+  const auto out = stats.GetCounter("mfs.candidates_out").Value();
+  const auto pruned = stats.GetCounter("mfs.pruned_full").Value();
+  EXPECT_GT(in, 0u);
+  EXPECT_LE(out, in);
+  EXPECT_EQ(in - out, pruned);
+
+  // The derived prune rate lands in [0, 1] and matches the counters.
+  const auto it = stats.Values().find("mfs.prune_rate");
+  ASSERT_NE(it, stats.Values().end());
+  EXPECT_NEAR(it->second,
+              1.0 - static_cast<double>(out) / static_cast<double>(in),
+              1e-12);
+}
+
+TEST(RunStats, ArdPassTimersFireOncePerCall) {
+  obs::RunStats stats;
+  obs::StatsSink sink(&stats);
+  const Technology tech = SmallTech();
+  const RcTree tree = TwoPinLine(tech, 2000.0, 1);
+  ComputeArd(tree, tech, &sink);
+  EXPECT_EQ(stats.GetTimer("ard.total").Calls(), 1u);
+  EXPECT_EQ(stats.GetTimer("ard.rooting").Calls(), 1u);
+  EXPECT_EQ(stats.GetTimer("ard.caps").Calls(), 1u);
+  EXPECT_EQ(stats.GetTimer("ard.combine").Calls(), 1u);
+}
+
+TEST(RunStats, RenderTextMentionsEveryInstrument) {
+  obs::RunStats stats;
+  stats.SetLabel("tool", "stats_test");
+  stats.SetValue("answer", 42.0);
+  stats.GetCounter("c.one").Add(7);
+  stats.GetTimer("t.one").Record(1000);
+  std::ostringstream os;
+  stats.RenderText(os);
+  const std::string text = os.str();
+  for (const char* needle : {"tool", "stats_test", "answer", "c.one", "t.one"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(RunStats, JsonNumbersAreFiniteOrNull) {
+  obs::RunStats stats;
+  stats.SetValue("bad", std::nan(""));
+  const std::string json = stats.JsonString();
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_NE(json.find("\"bad\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validates msn-run-stats-v1 / msn-bench-stats-v1 JSON files.
+
+Usage:
+    check_stats_schema.py STATS.json [STATS.json ...]
+
+Exit code 0 when every file conforms, 1 otherwise (first problem printed
+to stderr).  Pure stdlib; the schema itself is documented in
+docs/OBSERVABILITY.md.
+"""
+import json
+import numbers
+import sys
+
+RUN_SCHEMA = "msn-run-stats-v1"
+BENCH_SCHEMA = "msn-bench-stats-v1"
+
+# Every phase timer an `msn_cli optimize --stats` run must carry.
+REQUIRED_MSRI_TIMERS = (
+    "msri.leaf",
+    "msri.augment",
+    "msri.join",
+    "msri.repeater",
+    "msri.root",
+    "msri.total",
+)
+TIMER_FIELDS = ("calls", "total_ms", "mean_us")
+HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "buckets")
+
+
+class SchemaError(Exception):
+    pass
+
+
+def _number(value, where):
+    # JSON null encodes a non-finite double (see stats.cc JsonNumber).
+    if value is not None and not isinstance(value, numbers.Real):
+        raise SchemaError(f"{where}: expected number or null, got {value!r}")
+
+
+def _check_run(doc, where="run"):
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{where}: not a JSON object")
+    if doc.get("schema") != RUN_SCHEMA:
+        raise SchemaError(f"{where}: schema is {doc.get('schema')!r},"
+                          f" wanted {RUN_SCHEMA!r}")
+    for section in ("labels", "values", "counters", "timers", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            raise SchemaError(f"{where}: missing object section {section!r}")
+    for name, v in doc["labels"].items():
+        if not isinstance(v, str):
+            raise SchemaError(f"{where}: label {name!r} is not a string")
+    for name, v in doc["values"].items():
+        _number(v, f"{where}: value {name!r}")
+    for name, v in doc["counters"].items():
+        if not isinstance(v, int) or v < 0:
+            raise SchemaError(f"{where}: counter {name!r} is not a"
+                              " non-negative integer")
+    for name, t in doc["timers"].items():
+        if not isinstance(t, dict) or set(t) != set(TIMER_FIELDS):
+            raise SchemaError(f"{where}: timer {name!r} must have exactly"
+                              f" fields {TIMER_FIELDS}")
+        if not isinstance(t["calls"], int) or t["calls"] < 0:
+            raise SchemaError(f"{where}: timer {name!r} calls invalid")
+        _number(t["total_ms"], f"{where}: timer {name!r} total_ms")
+        _number(t["mean_us"], f"{where}: timer {name!r} mean_us")
+    for name, h in doc["histograms"].items():
+        if not isinstance(h, dict) or set(h) != set(HISTOGRAM_FIELDS):
+            raise SchemaError(f"{where}: histogram {name!r} must have exactly"
+                              f" fields {HISTOGRAM_FIELDS}")
+        for field in ("sum", "min", "max", "mean"):
+            _number(h[field], f"{where}: histogram {name!r} {field}")
+        if not isinstance(h["count"], int) or h["count"] < 0:
+            raise SchemaError(f"{where}: histogram {name!r} count invalid")
+        for pair in h["buckets"]:
+            if (not isinstance(pair, list) or len(pair) != 2
+                    or not isinstance(pair[1], int)):
+                raise SchemaError(f"{where}: histogram {name!r} buckets must"
+                                  " be [bound, count] pairs")
+
+
+def _check_optimize_run(doc, where):
+    """Extra requirements for msn_cli optimize output (full pipeline)."""
+    _check_run(doc, where)
+    timers = doc["timers"]
+    for name in REQUIRED_MSRI_TIMERS:
+        if name not in timers:
+            raise SchemaError(f"{where}: missing DP phase timer {name!r}")
+        if timers[name]["calls"] < 1:
+            raise SchemaError(f"{where}: phase timer {name!r} never fired")
+    if "mfs.prune_rate" not in doc["values"]:
+        raise SchemaError(f"{where}: missing value 'mfs.prune_rate'")
+    for name in ("mfs.candidates_in", "mfs.candidates_out"):
+        if name not in doc["counters"]:
+            raise SchemaError(f"{where}: missing counter {name!r}")
+    segments = [name for name in doc["histograms"]
+                if name.startswith("pwl.") and name.endswith(".segments")]
+    if not segments:
+        raise SchemaError(f"{where}: no pwl.*.segments histograms")
+
+
+def check_file(path, strict_optimize=False):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if isinstance(doc, dict) and doc.get("schema") == BENCH_SCHEMA:
+        if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+            raise SchemaError(f"{path}: bench trajectory missing 'bench'")
+        runs = doc.get("runs")
+        if not isinstance(runs, list):
+            raise SchemaError(f"{path}: bench trajectory missing 'runs' list")
+        for i, run in enumerate(runs):
+            _check_run(run, f"{path} runs[{i}]")
+        return f"{path}: ok ({BENCH_SCHEMA}, {len(runs)} runs)"
+    if strict_optimize:
+        _check_optimize_run(doc, path)
+    else:
+        _check_run(doc, path)
+    return f"{path}: ok ({RUN_SCHEMA})"
+
+
+def main(argv):
+    strict = "--optimize" in argv
+    paths = [a for a in argv[1:] if a != "--optimize"]
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    for path in paths:
+        try:
+            print(check_file(path, strict_optimize=strict))
+        except (OSError, json.JSONDecodeError, SchemaError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,15 +5,20 @@
 //   msn_cli ard NET.msn [SOLUTION.msn]
 //       Report the augmented RC-diameter (optionally of a saved solution).
 //   msn_cli optimize NET.msn [--spec PS] [--mode repeaters|sizing|joint]
-//           [-o SOLUTION.msn]
+//           [--stats[=FILE.json]] [-o SOLUTION.msn]
 //       Run the MSRI DP; print the tradeoff suite and the chosen point
-//       (min-cost meeting --spec, else the min-ARD point).
+//       (min-cost meeting --spec, else the min-ARD point).  --stats prints
+//       the instrumentation tables; --stats=FILE.json writes the
+//       machine-readable run report (docs/OBSERVABILITY.md).
 //   msn_cli render NET.msn [SOLUTION.msn]
 //       ASCII sketch of the net (with repeater markers if given).
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "common/check.h"
@@ -23,11 +28,18 @@
 #include "io/report.h"
 #include "io/table.h"
 #include "netgen/netgen.h"
+#include "obs/stats.h"
 #include "tech/tech.h"
 
 namespace {
 
 using namespace msn;
+
+/// User-facing command-line mistakes: reported as a one-line `error: ...`
+/// with exit code 1, without the MSN_CHECK internals prefix.
+struct CliError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 [[noreturn]] void Usage() {
   std::cerr <<
@@ -36,11 +48,13 @@ using namespace msn;
       " -o FILE\n"
       "  msn_cli ard NET.msn [SOLUTION.msn]\n"
       "  msn_cli optimize NET.msn [--spec PS]"
-      " [--mode repeaters|sizing|joint] [-o SOLUTION.msn]\n"
+      " [--mode repeaters|sizing|joint] [--stats[=FILE.json]]"
+      " [-o SOLUTION.msn]\n"
       "  msn_cli render NET.msn [SOLUTION.msn]\n";
   std::exit(2);
 }
 
+/// Accepts `--flag VALUE`, `--flag=VALUE`, and the value-less `--stats`.
 std::map<std::string, std::string> ParseFlags(int argc, char** argv,
                                               int first,
                                               std::vector<std::string>* pos) {
@@ -48,8 +62,17 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0 || arg == "-o") {
-      MSN_CHECK_MSG(i + 1 < argc, "flag " << arg << " needs a value");
-      flags[arg] = argv[++i];
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (arg == "--stats") {
+        flags[arg] = "";  // Bare form: print text tables to stdout.
+      } else {
+        if (i + 1 >= argc) {
+          throw CliError("flag " + arg + " needs a value");
+        }
+        flags[arg] = argv[++i];
+      }
     } else {
       pos->push_back(arg);
     }
@@ -57,15 +80,35 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
   return flags;
 }
 
+/// std::stod & friends with a one-line diagnostic instead of a raw
+/// std::invalid_argument escaping to the top.
+double NumericFlag(const std::map<std::string, std::string>& flags,
+                   const std::string& name) {
+  const std::string& text = flags.at(name);
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw CliError("flag " + name + " expects a number, got '" + text + "'");
+  }
+}
+
 RcTree LoadNet(const std::string& path) {
   std::ifstream in(path);
-  MSN_CHECK_MSG(in.good(), "cannot open '" << path << "'");
-  return ReadNet(in);
+  if (!in.good()) throw CliError("cannot open '" + path + "'");
+  try {
+    return ReadNet(in);
+  } catch (const ParseError& e) {
+    // One line, with the offending line number from io/netfile.
+    throw CliError(path + ": " + e.what());
+  }
 }
 
 SolutionFile LoadSolution(const std::string& path, const RcTree& tree) {
   std::ifstream in(path);
-  MSN_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  if (!in.good()) throw CliError("cannot open '" + path + "'");
   // Skip the net section if the file carries one.
   std::string line;
   const auto start = in.tellg();
@@ -76,7 +119,11 @@ SolutionFile LoadSolution(const std::string& path, const RcTree& tree) {
     }
   }
   if (!has_net) in.seekg(start);
-  return ReadSolution(in, tree);
+  try {
+    return ReadSolution(in, tree);
+  } catch (const ParseError& e) {
+    throw CliError(path + ": " + e.what());
+  }
 }
 
 int CmdGen(int argc, char** argv) {
@@ -85,11 +132,16 @@ int CmdGen(int argc, char** argv) {
   MSN_CHECK_MSG(flags.count("--terminals") && flags.count("-o"),
                 "gen requires --terminals and -o");
   NetConfig cfg;
-  cfg.num_terminals = std::stoul(flags.at("--terminals"));
-  if (flags.count("--seed")) cfg.seed = std::stoull(flags.at("--seed"));
-  if (flags.count("--grid")) cfg.grid_um = std::stoll(flags.at("--grid"));
+  cfg.num_terminals =
+      static_cast<std::size_t>(NumericFlag(flags, "--terminals"));
+  if (flags.count("--seed")) {
+    cfg.seed = static_cast<std::uint64_t>(NumericFlag(flags, "--seed"));
+  }
+  if (flags.count("--grid")) {
+    cfg.grid_um = static_cast<std::int64_t>(NumericFlag(flags, "--grid"));
+  }
   if (flags.count("--spacing")) {
-    cfg.insertion_spacing_um = std::stod(flags.at("--spacing"));
+    cfg.insertion_spacing_um = NumericFlag(flags, "--spacing");
   }
   const Technology tech = DefaultTechnology();
   const RcTree tree = BuildExperimentNet(cfg, tech);
@@ -144,12 +196,30 @@ int CmdOptimize(int argc, char** argv) {
     opt.size_drivers = true;
     opt.sizing_library = DriverSizingLibrary(tech, {1.0, 2.0, 3.0, 4.0});
     opt.insert_repeaters = mode == "joint";
-  } else {
-    MSN_CHECK_MSG(mode == "repeaters", "unknown --mode '" << mode << "'");
+  } else if (mode != "repeaters") {
+    throw CliError("unknown --mode '" + mode + "'");
   }
 
+  // --stats attaches the observability sink to every engine this command
+  // runs; the bare form prints tables, --stats=FILE.json writes the
+  // machine-readable report (docs/OBSERVABILITY.md).
+  obs::RunStats run_stats;
+  std::optional<obs::StatsSink> sink;
+  if (flags.count("--stats")) {
+    sink.emplace(&run_stats);
+    opt.stats = &*sink;
+    run_stats.SetLabel("tool", "msn_cli optimize");
+    run_stats.SetLabel("net", pos[0]);
+    run_stats.SetLabel("mode", mode);
+    run_stats.SetValue("net.terminals",
+                       static_cast<double>(tree.NumTerminals()));
+    run_stats.SetValue("net.insertion_points",
+                       static_cast<double>(tree.InsertionPoints().size()));
+  }
+  obs::StatsSink* sink_ptr = sink ? &*sink : nullptr;
+
   DescribeNet(std::cout, tree);
-  const double base = ComputeArd(tree, tech).ard_ps;
+  const double base = ComputeArd(tree, tech, sink_ptr).ard_ps;
   const MsriResult result = RunMsri(tree, tech, opt);
 
   TablePrinter t({"cost", "#rep", "ARD (ps)", "vs base"});
@@ -162,7 +232,7 @@ int CmdOptimize(int argc, char** argv) {
 
   const TradeoffPoint* pick =
       flags.count("--spec")
-          ? result.MinCostFeasible(std::stod(flags.at("--spec")))
+          ? result.MinCostFeasible(NumericFlag(flags, "--spec"))
           : result.MinArd();
   if (pick == nullptr) {
     std::cout << "spec " << flags.at("--spec")
@@ -171,7 +241,7 @@ int CmdOptimize(int argc, char** argv) {
     return 1;
   }
   const ArdResult ard = ComputeArd(tree, pick->repeaters, pick->drivers,
-                                   tech);
+                                   tech, kNoNode, sink_ptr);
   std::cout << '\n';
   DescribeSolution(std::cout, tree, tech, *pick, ard);
   if (flags.count("-o")) {
@@ -180,6 +250,26 @@ int CmdOptimize(int argc, char** argv) {
     WriteNet(out, tree);
     WriteSolution(out, tree, *pick);
     std::cout << "wrote " << flags.at("-o") << '\n';
+  }
+  if (sink) {
+    run_stats.SetValue("result.base_ard_ps", base);
+    run_stats.SetValue("result.picked_ard_ps", pick->ard_ps);
+    run_stats.SetValue("result.picked_cost", pick->cost);
+    run_stats.SetValue("result.picked_repeaters",
+                       static_cast<double>(pick->num_repeaters));
+    const std::string& stats_path = flags.at("--stats");
+    if (stats_path.empty()) {
+      std::cout << '\n';
+      DescribeStats(std::cout, run_stats);
+    } else {
+      std::ofstream out(stats_path);
+      if (!out.good()) {
+        throw CliError("cannot write '" + stats_path + "'");
+      }
+      run_stats.RenderJson(out);
+      out << '\n';
+      std::cout << "wrote " << stats_path << '\n';
+    }
   }
   return 0;
 }
@@ -208,7 +298,19 @@ int main(int argc, char** argv) {
     if (cmd == "ard") return CmdArd(argc, argv);
     if (cmd == "optimize") return CmdOptimize(argc, argv);
     if (cmd == "render") return CmdRender(argc, argv);
+  } catch (const CliError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  } catch (const msn::ParseError& e) {
+    // Malformed .msn reaching here bypassed LoadNet's wrapping (e.g. a
+    // solution file); still one line, with the line number.
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
   } catch (const msn::CheckError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    // Anything else (bad_alloc, stream failures, ...): never a raw abort.
     std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
