@@ -1,0 +1,50 @@
+// Minimal fan-out/join abstraction the core DP can parallelize through
+// without depending on the runtime layer (dependency order: common ->
+// core -> runtime; see src/CMakeLists.txt).
+//
+// RunAll executes every thunk and returns only when all of them have
+// completed.  Implementations may run thunks concurrently in any order;
+// callers that need deterministic output must therefore collect results
+// by index (write into a pre-sized slot per thunk), never by completion
+// order.  The first exception thrown by a thunk is rethrown from RunAll
+// after the remaining thunks finish.
+//
+// src/runtime/thread_pool.h provides the concurrent implementation
+// (PoolExecutor); SerialExecutor below is the inline reference
+// implementation and the semantic spec the parallel one must match.
+#ifndef MSN_COMMON_EXECUTOR_H
+#define MSN_COMMON_EXECUTOR_H
+
+#include <exception>
+#include <functional>
+#include <vector>
+
+namespace msn {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  /// Runs every task; returns after all completed.  Rethrows the first
+  /// task exception (all tasks still run to completion).
+  virtual void RunAll(std::vector<std::function<void()>> tasks) = 0;
+};
+
+/// Runs everything inline on the calling thread, in order.
+class SerialExecutor final : public Executor {
+ public:
+  void RunAll(std::vector<std::function<void()>> tasks) override {
+    std::exception_ptr first;
+    for (std::function<void()>& task : tasks) {
+      try {
+        task();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  }
+};
+
+}  // namespace msn
+
+#endif  // MSN_COMMON_EXECUTOR_H

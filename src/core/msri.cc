@@ -19,6 +19,14 @@ struct Context {
   MsriStats* stats;
   /// Observability sink; null disables all recording (see MsriOptions).
   obs::StatsSink* sink;
+  /// Intra-net fan-out executor; null keeps the traversal serial (see
+  /// MsriOptions::executor).  Worker sub-contexts carry the executor on
+  /// so deep branches keep fanning out — TaskGroup's helping Wait makes
+  /// nested fan-out on a shared pool deadlock-free.
+  Executor* executor = nullptr;
+  /// Node count of every rooted subtree; only populated (non-null) when
+  /// the executor is set.  Guards the fan-out threshold.
+  const std::vector<std::size_t>* subtree_nodes = nullptr;
   /// Upper bound on any reachable external capacitance: the whole net's
   /// capacitance (wires at maximum width, fattest pins, every insertion
   /// point buffered with the fattest repeater side).  Solutions only need
@@ -276,16 +284,79 @@ SolutionSet RepeaterSolutions(Context& ctx, NodeId v, SolutionSet set) {
 /// through its parent edge.  `Solve` is the recursive driver.
 SolutionSet Solve(Context& ctx, NodeId v);
 
+/// Per-child unit shared by the serial fold and the parallel fan-out:
+/// solve the subtree, augment through the parent edge, prune.  Pruning
+/// the augmented set before the join keeps the pairwise product small —
+/// essential once wire sizing multiplies each set by the number of width
+/// choices.
+SolutionSet ChildSolutions(Context& ctx, NodeId c) {
+  return ComputeMfs(Augment(ctx, c, Solve(ctx, c)), ctx.options.mfs,
+                    &ctx.stats->mfs, ctx.sink);
+}
+
+/// Accumulates a worker task's thread-local stats into the run's.  Every
+/// field is a sum or max, so the merge is order-insensitive and the
+/// totals are identical to a serial run's.
+void MergeStats(MsriStats& into, const MsriStats& from) {
+  into.solutions_generated += from.solutions_generated;
+  into.max_set_size = std::max(into.max_set_size, from.max_set_size);
+  into.max_pwl_segments =
+      std::max(into.max_pwl_segments, from.max_pwl_segments);
+  into.mfs.calls += from.mfs.calls;
+  into.mfs.candidates_in += from.mfs.candidates_in;
+  into.mfs.candidates_out += from.mfs.candidates_out;
+  into.mfs.comparisons += from.mfs.comparisons;
+  into.mfs.pruned += from.mfs.pruned;
+  into.mfs.pruned_partial += from.mfs.pruned_partial;
+}
+
+/// The fan-out is worth its overhead only when at least two siblings
+/// carry substantial subtrees (MsriOptions::parallel_min_nodes).
+bool ShouldParallelize(const Context& ctx,
+                       const std::vector<NodeId>& children) {
+  if (ctx.executor == nullptr || children.size() < 2) return false;
+  std::size_t heavy = 0;
+  for (const NodeId c : children) {
+    if ((*ctx.subtree_nodes)[c] >= ctx.options.parallel_min_nodes) ++heavy;
+  }
+  return heavy >= 2;
+}
+
 SolutionSet CombineChildren(Context& ctx, NodeId v) {
+  const std::vector<NodeId>& children = ctx.rooted.Children(v);
+  if (ShouldParallelize(ctx, children)) {
+    // Independent sibling subtrees (the JoinSets inputs of Fig. 7) as
+    // separate tasks.  Results land in index-addressed slots and worker
+    // stats in task-local structs, so output is deterministic at any
+    // thread count; obs sinks are thread-confined and therefore off on
+    // workers (MsriOptions::executor documents the reduced detail).
+    std::vector<SolutionSet> sets(children.size());
+    std::vector<MsriStats> local(children.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(children.size());
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      tasks.push_back([&ctx, &sets, &local, &children, i] {
+        Context sub{ctx.tree,    ctx.rooted,   ctx.tech,
+                    ctx.options, &local[i],    /*sink=*/nullptr,
+                    ctx.executor, ctx.subtree_nodes, ctx.x_max};
+        sets[i] = ChildSolutions(sub, children[i]);
+      });
+    }
+    ctx.executor->RunAll(std::move(tasks));
+    for (const MsriStats& s : local) MergeStats(*ctx.stats, s);
+    // The sequential fold, identical to the serial path below.
+    SolutionSet acc = std::move(sets[0]);
+    for (std::size_t i = 1; i < sets.size(); ++i) {
+      acc = ComputeMfs(JoinSets(ctx, v, acc, sets[i]), ctx.options.mfs,
+                       &ctx.stats->mfs, ctx.sink);
+    }
+    return acc;
+  }
+
   SolutionSet acc;
   bool first = true;
-  for (const NodeId c : ctx.rooted.Children(v)) {
-    // Pruning the augmented set before the join keeps the pairwise
-    // product small — essential once wire sizing multiplies each set by
-    // the number of width choices.
-    SolutionSet augmented =
-        ComputeMfs(Augment(ctx, c, Solve(ctx, c)), ctx.options.mfs,
-                   &ctx.stats->mfs, ctx.sink);
+  for (const NodeId c : children) {
+    SolutionSet augmented = ChildSolutions(ctx, c);
     if (first) {
       acc = std::move(augmented);
       first = false;
@@ -429,6 +500,15 @@ TradeoffPoint Materialize(Context& ctx, const RootCandidate& cand) {
 }  // namespace
 
 const TradeoffPoint* MsriResult::MinCostFeasible(double spec_ps) const {
+  // A NaN spec is "no spec" — reject it explicitly instead of relying on
+  // NaN comparisons all being false (which happens to give the same
+  // answer today but is fragile under refactoring; the batch report
+  // paths depend on this being deterministic).  -inf must also be
+  // explicit: ApproxEq's relative tolerance is eps*max(|a|,|b|), which is
+  // infinite at an infinite spec, so LessOrApprox(ard, -inf) would
+  // spuriously hold.  Negative finite specs fall out naturally: ARD is
+  // non-negative, so no point is feasible.
+  if (std::isnan(spec_ps) || spec_ps == -kInf) return nullptr;
   for (const TradeoffPoint& p : pareto_) {
     if (LessOrApprox(p.ard_ps, spec_ps)) return &p;
   }
@@ -499,8 +579,24 @@ MsriResult RunMsri(const RcTree& tree, const Technology& tech,
   }
   x_max *= 1.0 + 1e-9;  // Guard the boundary against rounding.
 
+  // The set_observer callback has no thread-safety contract, so its
+  // presence forces the serial traversal.
+  Executor* executor =
+      options.set_observer ? nullptr : options.executor;
+  std::vector<std::size_t> subtree_nodes;
+  if (executor != nullptr) {
+    // Bottom-up subtree node counts gate the fan-out threshold.
+    subtree_nodes.assign(tree.NumNodes(), 1);
+    const std::vector<NodeId>& pre = rooted.Preorder();
+    for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
+      if (*it != root) subtree_nodes[rooted.Parent(*it)] += subtree_nodes[*it];
+    }
+  }
+
   MsriResult result;
-  Context ctx{tree, rooted, tech, options, &result.stats_, options.stats,
+  Context ctx{tree,     rooted,   tech,
+              options,  &result.stats_, options.stats,
+              executor, executor != nullptr ? &subtree_nodes : nullptr,
               x_max};
 
   {

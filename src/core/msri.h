@@ -34,6 +34,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/executor.h"
 #include "core/mfs.h"
 #include "core/solution.h"
 #include "obs/stats.h"
@@ -83,6 +84,23 @@ struct MsriOptions {
   /// set sizes, and PWL breakpoint growth into the sink's registry.
   /// Null (the default) disables instrumentation at zero cost.
   obs::StatsSink* stats = nullptr;
+  /// Intra-net parallelism (docs/RUNTIME.md): when non-null, independent
+  /// sibling subtrees at branch nodes are solved as separate executor
+  /// tasks before the sequential JoinSets fold — the fan-out the paper's
+  /// Section IV structure makes embarrassingly parallel.  Deterministic:
+  /// per-child sets are computed exactly as in a serial run and folded in
+  /// child order, and worker tasks accumulate into task-local MsriStats
+  /// merged after the barrier, so results and DP counters are identical
+  /// at any thread count.  `stats` detail recorded on worker threads
+  /// (phase timers, PWL histograms) is skipped — obs instruments are
+  /// thread-confined by design.  Ignored when `set_observer` is set (the
+  /// callback is not required to be thread-safe).  Null (the default)
+  /// keeps the DP fully serial.
+  Executor* executor = nullptr;
+  /// Fan-out guard: a branch parallelizes only when at least two of its
+  /// child subtrees span this many nodes, so small nets stay serial and
+  /// task overhead cannot dominate.
+  std::size_t parallel_min_nodes = 64;
   /// Debug/teaching hook: invoked with every node's finalized solution
   /// set as the bottom-up pass completes it (after MFS pruning).
   std::function<void(NodeId, const SolutionSet&)> set_observer;
@@ -113,7 +131,11 @@ class MsriResult {
   const std::vector<TradeoffPoint>& Pareto() const { return pareto_; }
 
   /// Cheapest point with ARD <= spec_ps; nullptr if the spec is
-  /// unachievable.
+  /// unachievable.  Degenerate specs are handled explicitly rather than
+  /// through comparison fallthrough: a NaN spec is no spec at all and
+  /// returns nullptr; -inf likewise; a negative finite spec is simply
+  /// unachievable (ARD is non-negative) and returns nullptr; +inf is
+  /// achievable by every point and returns MinCost().
   const TradeoffPoint* MinCostFeasible(double spec_ps) const;
 
   /// The minimum-ARD point (cost-oblivious optimum); nullptr if empty.

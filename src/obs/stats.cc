@@ -94,9 +94,35 @@ void Histogram::Record(double v) {
   ++buckets_[bucket];
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
 double Histogram::BucketBound(std::size_t i) const {
   return static_cast<double>(std::uint64_t{1} << std::min<std::size_t>(
              i, 63));
+}
+
+void RunStats::MergeFrom(const RunStats& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].MergeFrom(c);
+  }
+  for (const auto& [name, t] : other.timers_) timers_[name].MergeFrom(t);
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name].MergeFrom(h);
+  }
 }
 
 void RunStats::RenderText(std::ostream& os) const {

@@ -15,9 +15,13 @@
 //      units never change meaning within a schema version, so BENCH_*.json
 //      trajectories stay comparable across PRs.
 //
-// Everything here is single-threaded by design (the DP is); nothing is
-// atomic.  Instrument pointers handed out by RunStats stay valid for the
-// registry's lifetime (node-based map storage).
+// Everything here is single-threaded by design; nothing is atomic.  The
+// parallel batch engine (src/runtime) keeps that contract by giving every
+// net its own thread-confined RunStats/StatsSink and folding them into one
+// aggregate registry *after* the join barrier via RunStats::MergeFrom —
+// never by sharing a sink across threads.  Instrument pointers handed out
+// by RunStats stay valid for the registry's lifetime (node-based map
+// storage).
 #ifndef MSN_OBS_STATS_H
 #define MSN_OBS_STATS_H
 
@@ -35,6 +39,7 @@ class Counter {
  public:
   void Add(std::uint64_t n = 1) { value_ += n; }
   std::uint64_t Value() const { return value_; }
+  void MergeFrom(const Counter& other) { value_ += other.value_; }
 
  private:
   std::uint64_t value_ = 0;
@@ -54,6 +59,10 @@ class Timer {
     return calls_ == 0 ? 0.0
                        : static_cast<double>(total_ns_) * 1e-3 /
                              static_cast<double>(calls_);
+  }
+  void MergeFrom(const Timer& other) {
+    total_ns_ += other.total_ns_;
+    calls_ += other.calls_;
   }
 
  private:
@@ -92,6 +101,7 @@ class Histogram {
   static constexpr std::size_t kNumBuckets = 64;
 
   void Record(double v);
+  void MergeFrom(const Histogram& other);
 
   std::uint64_t Count() const { return count_; }
   double Sum() const { return sum_; }
@@ -147,6 +157,13 @@ class RunStats {
   }
   const std::map<std::string, std::string>& Labels() const { return labels_; }
   const std::map<std::string, double>& Values() const { return values_; }
+
+  /// Folds `other`'s counters, timers, and histograms into this registry
+  /// (same-named instruments accumulate; new names are created).  Labels
+  /// and values are per-run context/results with no meaningful sum and
+  /// are left untouched.  The batch engine uses this to aggregate
+  /// thread-confined per-net registries after its join barrier.
+  void MergeFrom(const RunStats& other);
 
   /// Plain-text summary (one instrument per line, name-sorted).
   void RenderText(std::ostream& os) const;

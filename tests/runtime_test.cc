@@ -1,0 +1,375 @@
+// The msn::runtime batch engine (docs/RUNTIME.md): thread-pool and
+// task-group semantics, batch determinism across thread counts (the
+// byte-identical report contract), per-net error containment, intra-net
+// parallel DP equivalence, and the degenerate-spec handling of
+// MsriResult::MinCostFeasible.  This suite is the TSan gate for the
+// thread pool (CI runs it under -DMSN_SANITIZE=thread).
+#include "runtime/batch.h"
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/check.h"
+#include "common/executor.h"
+#include "common/numeric.h"
+#include "core/msri.h"
+#include "io/netfile.h"
+#include "netgen/netgen.h"
+#include "test_util.h"
+
+namespace msn {
+namespace {
+
+namespace fs = std::filesystem;
+using runtime::BatchJob;
+using runtime::BatchOptions;
+using runtime::BatchResult;
+using runtime::OptimizeBatch;
+using runtime::PoolExecutor;
+using runtime::TaskGroup;
+using runtime::ThreadPool;
+using testing::SmallTech;
+
+RcTree ExperimentNet(std::uint64_t seed, std::size_t terminals = 8) {
+  NetConfig cfg;
+  cfg.seed = seed;
+  cfg.num_terminals = terminals;
+  return BuildExperimentNet(cfg, SmallTech());
+}
+
+/// A scratch directory removed on scope exit.
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("msn_runtime_test_" + tag + "_" +
+            std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+};
+
+void WriteNetFile(const fs::path& path, const RcTree& tree) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out.good());
+  WriteNet(out, tree);
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool / TaskGroup.
+
+TEST(ThreadPool, AsyncDeliversResultsAndExceptions) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.NumThreads(), 4u);
+  auto ok = pool.Async([] { return 6 * 7; });
+  auto bad = pool.Async(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 42);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(TaskGroup, RunsEveryTaskWithMoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  TaskGroup group(&pool);
+  for (int i = 1; i <= 100; ++i) {
+    group.Run([&sum, i] { sum.fetch_add(i); });
+  }
+  group.Wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(TaskGroup, NullPoolRunsInlineOnWait) {
+  std::atomic<int> count{0};
+  TaskGroup group(nullptr);
+  for (int i = 0; i < 10; ++i) group.Run([&count] { ++count; });
+  EXPECT_EQ(count.load(), 0);  // Nothing runs before Wait.
+  group.Wait();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(TaskGroup, WaitRethrowsFirstExceptionAfterAllTasksRan) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 20; ++i) {
+    group.Run([&ran, i] {
+      ++ran;
+      if (i % 5 == 0) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 20);  // A throwing task never cancels siblings.
+}
+
+TEST(TaskGroup, NestedGroupsOnOneSaturatedPoolDoNotDeadlock) {
+  // Every worker fans out a nested group onto the same 2-thread pool;
+  // Wait() helping is what keeps this from deadlocking.
+  ThreadPool pool(2);
+  std::atomic<int> leaf_count{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.Run([&pool, &leaf_count] {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 8; ++j) {
+        inner.Run([&leaf_count] { ++leaf_count; });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(leaf_count.load(), 64);
+}
+
+TEST(Executors, PoolMatchesSerialSemantics) {
+  std::vector<int> serial_out(16, 0);
+  std::vector<int> pool_out(16, 0);
+  auto make_tasks = [](std::vector<int>& out) {
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      tasks.push_back([&out, i] { out[i] = static_cast<int>(i * i); });
+    }
+    return tasks;
+  };
+  SerialExecutor serial;
+  serial.RunAll(make_tasks(serial_out));
+  ThreadPool pool(3);
+  PoolExecutor pool_exec(&pool);
+  pool_exec.RunAll(make_tasks(pool_out));
+  EXPECT_EQ(serial_out, pool_out);
+
+  EXPECT_THROW(
+      pool_exec.RunAll({[] { throw std::runtime_error("boom"); }}),
+      std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Batch determinism and containment.
+
+std::vector<BatchJob> MakeJobs(std::size_t count) {
+  std::vector<BatchJob> jobs;
+  for (std::uint64_t seed = 1; seed <= count; ++seed) {
+    jobs.push_back(BatchJob{"net" + std::to_string(seed),
+                            ExperimentNet(seed), MsriOptions{}});
+  }
+  return jobs;
+}
+
+std::string Report(const BatchResult& batch, double spec_ps) {
+  std::ostringstream os;
+  runtime::WriteBatchReport(os, batch, spec_ps);
+  return os.str();
+}
+
+TEST(Batch, ReportIsByteIdenticalAcrossJobCounts) {
+  const Technology tech = SmallTech();
+  BatchOptions one;
+  one.jobs = 1;
+  BatchOptions eight;
+  eight.jobs = 8;
+  const BatchResult r1 = OptimizeBatch(MakeJobs(6), tech, one);
+  const BatchResult r8 = OptimizeBatch(MakeJobs(6), tech, eight);
+  EXPECT_EQ(Report(r1, 950.0), Report(r8, 950.0));
+
+  // Beyond the rendered report: the Pareto frontiers themselves are
+  // bit-identical, point by point.
+  ASSERT_EQ(r1.nets.size(), r8.nets.size());
+  for (std::size_t i = 0; i < r1.nets.size(); ++i) {
+    const auto& p1 = r1.nets[i].result.Pareto();
+    const auto& p8 = r8.nets[i].result.Pareto();
+    ASSERT_EQ(p1.size(), p8.size());
+    for (std::size_t k = 0; k < p1.size(); ++k) {
+      EXPECT_EQ(p1[k].cost, p8[k].cost);
+      EXPECT_EQ(p1[k].ard_ps, p8[k].ard_ps);
+      EXPECT_EQ(p1[k].num_repeaters, p8[k].num_repeaters);
+    }
+  }
+}
+
+TEST(Batch, MoreJobsThanNetsAndMoreNetsThanJobs) {
+  const Technology tech = SmallTech();
+  BatchOptions opt;
+  opt.jobs = 16;  // Stress: far more workers than the 3 nets.
+  const BatchResult wide = OptimizeBatch(MakeJobs(3), tech, opt);
+  EXPECT_TRUE(wide.AllOk());
+  EXPECT_EQ(wide.nets.size(), 3u);
+
+  opt.jobs = 2;
+  const BatchResult narrow = OptimizeBatch(MakeJobs(9), tech, opt);
+  EXPECT_TRUE(narrow.AllOk());
+  EXPECT_EQ(narrow.nets.size(), 9u);
+  for (const auto& net : narrow.nets) {
+    EXPECT_TRUE(net.ok) << net.error;
+    EXPECT_FALSE(net.result.Pareto().empty());
+  }
+}
+
+TEST(Batch, MalformedNetIsContainedAndOthersSurvive) {
+  ScratchDir dir("contain");
+  WriteNetFile(dir.path / "a.msn", ExperimentNet(1));
+  {
+    std::ofstream bad(dir.path / "b.msn");
+    bad << "msn-net 1\nnode 0 terminal\nend\n";  // Truncated node line.
+  }
+  WriteNetFile(dir.path / "c.msn", ExperimentNet(2));
+
+  BatchOptions opt;
+  opt.jobs = 4;
+  const BatchResult batch = runtime::OptimizeBatchFiles(
+      runtime::CollectNetPaths(dir.path.string()), SmallTech(),
+      MsriOptions{}, opt);
+  ASSERT_EQ(batch.nets.size(), 3u);
+  EXPECT_TRUE(batch.nets[0].ok);
+  EXPECT_FALSE(batch.nets[1].ok);
+  EXPECT_NE(batch.nets[1].error.find("line 2"), std::string::npos)
+      << batch.nets[1].error;
+  EXPECT_TRUE(batch.nets[2].ok);
+  ASSERT_EQ(batch.errors.size(), 1u);
+  EXPECT_EQ(batch.errors[0].index, 1u);
+}
+
+TEST(Batch, CollectNetPathsDirectorySortedAndManifestResolved) {
+  ScratchDir dir("paths");
+  WriteNetFile(dir.path / "b.msn", ExperimentNet(1));
+  WriteNetFile(dir.path / "a.msn", ExperimentNet(2));
+  std::ofstream(dir.path / "notes.txt") << "ignored\n";
+  const auto from_dir = runtime::CollectNetPaths(dir.path.string());
+  ASSERT_EQ(from_dir.size(), 2u);
+  EXPECT_EQ(fs::path(from_dir[0]).filename(), "a.msn");
+  EXPECT_EQ(fs::path(from_dir[1]).filename(), "b.msn");
+
+  {
+    std::ofstream manifest(dir.path / "batch.list");
+    manifest << "# comment\n\n  b.msn  \na.msn\n";
+  }
+  const auto from_manifest =
+      runtime::CollectNetPaths((dir.path / "batch.list").string());
+  ASSERT_EQ(from_manifest.size(), 2u);  // Manifest order, not sorted.
+  EXPECT_EQ(fs::path(from_manifest[0]).filename(), "b.msn");
+  EXPECT_TRUE(fs::exists(from_manifest[0]));
+
+  EXPECT_THROW(runtime::CollectNetPaths(
+                   (dir.path / "missing").string()),
+               CheckError);
+}
+
+TEST(Batch, AggregateStatsMergePerNetRegistries) {
+  const Technology tech = SmallTech();
+  BatchOptions opt;
+  opt.jobs = 4;
+  opt.collect_stats = true;
+  const BatchResult batch = OptimizeBatch(MakeJobs(4), tech, opt);
+
+  std::uint64_t per_net_solutions = 0;
+  for (const auto& net : batch.nets) {
+    per_net_solutions +=
+        net.stats.Counters().at("msri.solutions_generated").Value();
+  }
+  EXPECT_GT(per_net_solutions, 0u);
+  EXPECT_EQ(batch.aggregate.Counters()
+                .at("msri.solutions_generated")
+                .Value(),
+            per_net_solutions);
+  EXPECT_EQ(batch.aggregate.Histograms().at("batch.net_wall_ms").Count(),
+            4u);
+  EXPECT_EQ(
+      batch.aggregate.Histograms().at("batch.pool_occupancy").Count(),
+      4u);
+  EXPECT_DOUBLE_EQ(batch.aggregate.Values().at("batch.nets"), 4.0);
+
+  // The batch JSON document round-trips through the renderer.
+  std::ostringstream os;
+  runtime::WriteBatchStatsJson(os, batch);
+  EXPECT_NE(os.str().find("\"schema\":\"msn-batch-stats-v1\""),
+            std::string::npos);
+}
+
+TEST(Batch, RejectsJobsCarryingObservabilityHooks) {
+  obs::RunStats stats;
+  obs::StatsSink sink(&stats);
+  std::vector<BatchJob> jobs = MakeJobs(1);
+  jobs[0].options.stats = &sink;
+  EXPECT_THROW(OptimizeBatch(std::move(jobs), SmallTech(), BatchOptions{}),
+               CheckError);
+}
+
+// ---------------------------------------------------------------------
+// Intra-net parallelism.
+
+TEST(IntraNet, ParallelSubtreeSolvesMatchSerialExactly) {
+  const Technology tech = SmallTech();
+  const RcTree tree = ExperimentNet(3, /*terminals=*/12);
+
+  const MsriResult serial = RunMsri(tree, tech, MsriOptions{});
+
+  ThreadPool pool(4);
+  PoolExecutor exec(&pool);
+  MsriOptions par;
+  par.executor = &exec;
+  par.parallel_min_nodes = 1;  // Force fan-out at every branch.
+  const MsriResult parallel = RunMsri(tree, tech, par);
+
+  ASSERT_EQ(serial.Pareto().size(), parallel.Pareto().size());
+  for (std::size_t i = 0; i < serial.Pareto().size(); ++i) {
+    EXPECT_EQ(serial.Pareto()[i].cost, parallel.Pareto()[i].cost);
+    EXPECT_EQ(serial.Pareto()[i].ard_ps, parallel.Pareto()[i].ard_ps);
+    EXPECT_EQ(serial.Pareto()[i].num_repeaters,
+              parallel.Pareto()[i].num_repeaters);
+  }
+  // Task-local stats merge back to the serial totals (sums and maxes).
+  EXPECT_EQ(serial.Stats().solutions_generated,
+            parallel.Stats().solutions_generated);
+  EXPECT_EQ(serial.Stats().max_set_size, parallel.Stats().max_set_size);
+  EXPECT_EQ(serial.Stats().mfs.candidates_in,
+            parallel.Stats().mfs.candidates_in);
+  EXPECT_EQ(serial.Stats().mfs.candidates_out,
+            parallel.Stats().mfs.candidates_out);
+}
+
+TEST(IntraNet, BatchWithIntraNetParallelismStaysDeterministic) {
+  const Technology tech = SmallTech();
+  BatchOptions plain;
+  plain.jobs = 1;
+  BatchOptions intra;
+  intra.jobs = 4;
+  intra.intra_net_parallelism = true;
+  intra.parallel_min_nodes = 1;
+  const BatchResult r1 = OptimizeBatch(MakeJobs(4), tech, plain);
+  const BatchResult r2 = OptimizeBatch(MakeJobs(4), tech, intra);
+  EXPECT_EQ(Report(r1, 900.0), Report(r2, 900.0));
+}
+
+// ---------------------------------------------------------------------
+// Degenerate ARD specs (explicit NaN/negative handling).
+
+TEST(MinCostFeasible, DegenerateSpecsAreExplicit) {
+  const Technology tech = SmallTech();
+  const MsriResult result =
+      RunMsri(ExperimentNet(1), tech, MsriOptions{});
+  ASSERT_FALSE(result.Pareto().empty());
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(result.MinCostFeasible(nan), nullptr);
+  EXPECT_EQ(result.MinCostFeasible(-kInf), nullptr);
+  EXPECT_EQ(result.MinCostFeasible(-100.0), nullptr);
+  // +inf admits everything: the cheapest point wins.
+  EXPECT_EQ(result.MinCostFeasible(kInf), result.MinCost());
+  // And a generous finite spec behaves identically.
+  EXPECT_EQ(result.MinCostFeasible(1e12), result.MinCost());
+}
+
+}  // namespace
+}  // namespace msn

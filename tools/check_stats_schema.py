@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
-"""Validates msn-run-stats-v1 / msn-bench-stats-v1 JSON files.
+"""Validates msn-run-stats-v1 / msn-bench-stats-v1 / msn-batch-stats-v1
+JSON files.
 
 Usage:
     check_stats_schema.py STATS.json [STATS.json ...]
 
 Exit code 0 when every file conforms, 1 otherwise (first problem printed
-to stderr).  Pure stdlib; the schema itself is documented in
-docs/OBSERVABILITY.md.
+to stderr).  Pure stdlib; the schemas are documented in
+docs/OBSERVABILITY.md (run/bench) and docs/RUNTIME.md (batch).
 """
 import json
 import numbers
@@ -14,6 +15,15 @@ import sys
 
 RUN_SCHEMA = "msn-run-stats-v1"
 BENCH_SCHEMA = "msn-bench-stats-v1"
+BATCH_SCHEMA = "msn-batch-stats-v1"
+
+# Batch aggregate instruments the runtime engine always records.
+REQUIRED_BATCH_HISTOGRAMS = (
+    "batch.net_wall_ms",
+    "batch.queue_wait_ms",
+    "batch.pool_occupancy",
+)
+REQUIRED_BATCH_VALUES = ("batch.nets", "batch.errors", "batch.jobs")
 
 # Every phase timer an `msn_cli optimize --stats` run must carry.
 REQUIRED_MSRI_TIMERS = (
@@ -99,9 +109,48 @@ def _check_optimize_run(doc, where):
         raise SchemaError(f"{where}: no pwl.*.segments histograms")
 
 
+def _check_batch(doc, path):
+    """msn-batch-stats-v1: batch header, per-net entries, aggregate."""
+    if not isinstance(doc.get("jobs"), int) or doc["jobs"] < 1:
+        raise SchemaError(f"{path}: batch 'jobs' must be a positive int")
+    nets = doc.get("nets")
+    if not isinstance(nets, list):
+        raise SchemaError(f"{path}: batch missing 'nets' list")
+    for i, net in enumerate(nets):
+        where = f"{path} nets[{i}]"
+        if not isinstance(net, dict):
+            raise SchemaError(f"{where}: not a JSON object")
+        if not isinstance(net.get("name"), str) or not net["name"]:
+            raise SchemaError(f"{where}: missing 'name'")
+        if not isinstance(net.get("ok"), bool):
+            raise SchemaError(f"{where}: missing boolean 'ok'")
+        if not net["ok"] and not isinstance(net.get("error"), str):
+            raise SchemaError(f"{where}: failed net missing 'error'")
+        for field in ("wall_ms", "queue_wait_ms"):
+            _number(net.get(field), f"{where}: {field}")
+        if not isinstance(net.get("pool_occupancy"), int):
+            raise SchemaError(f"{where}: missing int 'pool_occupancy'")
+        if net["ok"] and not isinstance(net.get("pareto_points"), int):
+            raise SchemaError(f"{where}: ok net missing 'pareto_points'")
+        if "stats" in net:
+            _check_run(net["stats"], f"{where} stats")
+    agg = doc.get("aggregate")
+    _check_run(agg, f"{path} aggregate")
+    for name in REQUIRED_BATCH_HISTOGRAMS:
+        if name not in agg["histograms"]:
+            raise SchemaError(f"{path}: aggregate missing histogram"
+                              f" {name!r}")
+    for name in REQUIRED_BATCH_VALUES:
+        if name not in agg["values"]:
+            raise SchemaError(f"{path}: aggregate missing value {name!r}")
+    return f"{path}: ok ({BATCH_SCHEMA}, {len(nets)} nets)"
+
+
 def check_file(path, strict_optimize=False):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
+    if isinstance(doc, dict) and doc.get("schema") == BATCH_SCHEMA:
+        return _check_batch(doc, path)
     if isinstance(doc, dict) and doc.get("schema") == BENCH_SCHEMA:
         if not isinstance(doc.get("bench"), str) or not doc["bench"]:
             raise SchemaError(f"{path}: bench trajectory missing 'bench'")

@@ -10,6 +10,14 @@
 //       (min-cost meeting --spec, else the min-ARD point).  --stats prints
 //       the instrumentation tables; --stats=FILE.json writes the
 //       machine-readable run report (docs/OBSERVABILITY.md).
+//   msn_cli optimize-batch DIR|MANIFEST [--jobs N] [--spec PS]
+//           [--mode repeaters|sizing|joint] [--intra-net]
+//           [--stats=FILE.json]
+//       Optimize every .msn net of a directory (sorted) or manifest (one
+//       path per line, # comments) on N pool threads with per-net error
+//       containment.  The report on stdout is byte-identical at any
+//       --jobs; --stats writes the msn-batch-stats-v1 aggregate document
+//       (docs/RUNTIME.md).
 //   msn_cli render NET.msn [SOLUTION.msn]
 //       ASCII sketch of the net (with repeater markers if given).
 #include <cstdint>
@@ -29,6 +37,7 @@
 #include "io/table.h"
 #include "netgen/netgen.h"
 #include "obs/stats.h"
+#include "runtime/batch.h"
 #include "tech/tech.h"
 
 namespace {
@@ -50,6 +59,9 @@ struct CliError : std::runtime_error {
       "  msn_cli optimize NET.msn [--spec PS]"
       " [--mode repeaters|sizing|joint] [--stats[=FILE.json]]"
       " [-o SOLUTION.msn]\n"
+      "  msn_cli optimize-batch DIR|MANIFEST [--jobs N] [--spec PS]"
+      " [--mode repeaters|sizing|joint] [--intra-net]"
+      " [--stats=FILE.json]\n"
       "  msn_cli render NET.msn [SOLUTION.msn]\n";
   std::exit(2);
 }
@@ -65,8 +77,8 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
       const std::size_t eq = arg.find('=');
       if (eq != std::string::npos) {
         flags[arg.substr(0, eq)] = arg.substr(eq + 1);
-      } else if (arg == "--stats") {
-        flags[arg] = "";  // Bare form: print text tables to stdout.
+      } else if (arg == "--stats" || arg == "--intra-net") {
+        flags[arg] = "";  // Value-less flags.
       } else {
         if (i + 1 >= argc) {
           throw CliError("flag " + arg + " needs a value");
@@ -182,13 +194,9 @@ int CmdArd(int argc, char** argv) {
   return 0;
 }
 
-int CmdOptimize(int argc, char** argv) {
-  std::vector<std::string> pos;
-  const auto flags = ParseFlags(argc, argv, 2, &pos);
-  MSN_CHECK_MSG(!pos.empty(), "optimize requires a net file");
-  const RcTree tree = LoadNet(pos[0]);
-  const Technology tech = DefaultTechnology();
-
+/// The shared --mode handling of optimize / optimize-batch.
+MsriOptions ModeOptions(const std::map<std::string, std::string>& flags,
+                        const Technology& tech, std::string* mode_out) {
   MsriOptions opt;
   const std::string mode =
       flags.count("--mode") ? flags.at("--mode") : "repeaters";
@@ -199,6 +207,19 @@ int CmdOptimize(int argc, char** argv) {
   } else if (mode != "repeaters") {
     throw CliError("unknown --mode '" + mode + "'");
   }
+  *mode_out = mode;
+  return opt;
+}
+
+int CmdOptimize(int argc, char** argv) {
+  std::vector<std::string> pos;
+  const auto flags = ParseFlags(argc, argv, 2, &pos);
+  MSN_CHECK_MSG(!pos.empty(), "optimize requires a net file");
+  const RcTree tree = LoadNet(pos[0]);
+  const Technology tech = DefaultTechnology();
+
+  std::string mode;
+  MsriOptions opt = ModeOptions(flags, tech, &mode);
 
   // --stats attaches the observability sink to every engine this command
   // runs; the bare form prints tables, --stats=FILE.json writes the
@@ -274,6 +295,57 @@ int CmdOptimize(int argc, char** argv) {
   return 0;
 }
 
+int CmdOptimizeBatch(int argc, char** argv) {
+  std::vector<std::string> pos;
+  const auto flags = ParseFlags(argc, argv, 2, &pos);
+  MSN_CHECK_MSG(!pos.empty(),
+                "optimize-batch requires a directory or manifest");
+  const Technology tech = DefaultTechnology();
+
+  std::string mode;
+  const MsriOptions base = ModeOptions(flags, tech, &mode);
+
+  runtime::BatchOptions batch_opt;
+  if (flags.count("--jobs")) {
+    const double jobs = NumericFlag(flags, "--jobs");
+    if (jobs < 1) throw CliError("--jobs must be at least 1");
+    batch_opt.jobs = static_cast<std::size_t>(jobs);
+  }
+  batch_opt.intra_net_parallelism = flags.count("--intra-net") > 0;
+  const bool want_stats = flags.count("--stats") > 0;
+  if (want_stats && flags.at("--stats").empty()) {
+    throw CliError("optimize-batch --stats requires =FILE.json");
+  }
+  batch_opt.collect_stats = want_stats;
+
+  std::vector<std::string> paths;
+  try {
+    paths = runtime::CollectNetPaths(pos[0]);
+  } catch (const CheckError& e) {
+    throw CliError(e.what());
+  }
+
+  const runtime::BatchResult batch =
+      runtime::OptimizeBatchFiles(paths, tech, base, batch_opt);
+
+  std::optional<double> spec;
+  if (flags.count("--spec")) spec = NumericFlag(flags, "--spec");
+  // The report is the determinism contract: byte-identical at any
+  // --jobs (tests/runtime_test.cc and the CI matrix byte-compare it).
+  runtime::WriteBatchReport(std::cout, batch, spec);
+
+  if (want_stats) {
+    const std::string& stats_path = flags.at("--stats");
+    std::ofstream out(stats_path);
+    if (!out.good()) throw CliError("cannot write '" + stats_path + "'");
+    runtime::WriteBatchStatsJson(out, batch);
+    // stderr, not stdout: stdout carries only the deterministic report,
+    // so it stays byte-comparable across invocations with/without stats.
+    std::cerr << "wrote " << stats_path << '\n';
+  }
+  return batch.AllOk() ? 0 : 1;
+}
+
 int CmdRender(int argc, char** argv) {
   std::vector<std::string> pos;
   ParseFlags(argc, argv, 2, &pos);
@@ -297,6 +369,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return CmdGen(argc, argv);
     if (cmd == "ard") return CmdArd(argc, argv);
     if (cmd == "optimize") return CmdOptimize(argc, argv);
+    if (cmd == "optimize-batch") return CmdOptimizeBatch(argc, argv);
     if (cmd == "render") return CmdRender(argc, argv);
   } catch (const CliError& e) {
     std::cerr << "error: " << e.what() << '\n';
