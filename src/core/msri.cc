@@ -523,6 +523,40 @@ const TradeoffPoint* MsriResult::MinCost() const {
   return pareto_.empty() ? nullptr : &pareto_.front();
 }
 
+const TradeoffSummary* MsriSummary::MinCostFeasible(double spec_ps) const {
+  // Mirrors MsriResult::MinCostFeasible — the explicit NaN/-inf handling
+  // included — so a cached summary answers spec queries identically to
+  // the result it condensed.
+  if (std::isnan(spec_ps) || spec_ps == -kInf) return nullptr;
+  for (const TradeoffSummary& p : pareto) {
+    if (LessOrApprox(p.ard_ps, spec_ps)) return &p;
+  }
+  return nullptr;
+}
+
+const TradeoffSummary* MsriSummary::MinArd() const {
+  return pareto.empty() ? nullptr : &pareto.back();
+}
+
+const TradeoffSummary* MsriSummary::MinCost() const {
+  return pareto.empty() ? nullptr : &pareto.front();
+}
+
+std::size_t MsriSummary::ApproxBytes() const {
+  return sizeof(MsriSummary) + pareto.capacity() * sizeof(TradeoffSummary);
+}
+
+MsriSummary Summarize(const MsriResult& result) {
+  MsriSummary summary;
+  summary.pareto.reserve(result.Pareto().size());
+  for (const TradeoffPoint& p : result.Pareto()) {
+    summary.pareto.push_back({p.cost, p.ard_ps, p.num_repeaters});
+  }
+  summary.solutions_generated = result.Stats().solutions_generated;
+  summary.max_set_size = result.Stats().max_set_size;
+  return summary;
+}
+
 MsriResult RunMsri(const RcTree& tree, const Technology& tech,
                    const MsriOptions& options) {
   tree.Validate();

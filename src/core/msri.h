@@ -125,6 +125,40 @@ struct MsriStats {
   MfsStats mfs;
 };
 
+/// One Pareto point condensed to its scalar coordinates — the part of a
+/// TradeoffPoint that survives summarization (no materialized
+/// assignments).
+struct TradeoffSummary {
+  double cost = 0.0;
+  double ard_ps = 0.0;
+  std::size_t num_repeaters = 0;
+
+  bool operator==(const TradeoffSummary&) const = default;
+};
+
+/// Value-type condensation of a completed MsriResult: the cost-vs-ARD
+/// frontier without the per-point repeater/driver/width assignments.
+/// This is what the optimization service caches and serves — small,
+/// copyable, and sufficient to answer every frontier query
+/// (MinCostFeasible / MinArd / MinCost mirror MsriResult exactly, so a
+/// cached answer is indistinguishable from a fresh one).
+struct MsriSummary {
+  /// Sorted by increasing cost (ARD strictly decreasing), like
+  /// MsriResult::Pareto().
+  std::vector<TradeoffSummary> pareto;
+  std::size_t solutions_generated = 0;
+  std::size_t max_set_size = 0;
+
+  const TradeoffSummary* MinCostFeasible(double spec_ps) const;
+  const TradeoffSummary* MinArd() const;
+  const TradeoffSummary* MinCost() const;
+
+  /// Rough heap footprint, used for cache byte budgeting.
+  std::size_t ApproxBytes() const;
+
+  bool operator==(const MsriSummary&) const = default;
+};
+
 class MsriResult {
  public:
   /// Pareto frontier, sorted by increasing cost (ARD strictly decreasing).
@@ -167,6 +201,9 @@ inline double WireAreaCost(double rate_per_um, double length_um, double w,
 /// Runs the optimal repeater insertion / driver sizing DP.
 MsriResult RunMsri(const RcTree& tree, const Technology& tech,
                    const MsriOptions& options = {});
+
+/// Condenses a completed result into its cacheable summary.
+MsriSummary Summarize(const MsriResult& result);
 
 }  // namespace msn
 

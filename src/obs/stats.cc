@@ -7,9 +7,7 @@
 #include <sstream>
 
 namespace msn::obs {
-namespace {
 
-/// JSON string escaping (control characters, quotes, backslashes).
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -34,14 +32,14 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-/// JSON number: shortest round-trip decimal; non-finite becomes null
-/// (JSON has no inf/nan).
 std::string JsonNumber(double v) {
   if (!std::isfinite(v)) return "null";
   std::ostringstream os;
   os << std::setprecision(15) << v;
   return os.str();
 }
+
+namespace {
 
 void JsonHistogram(std::ostream& os, const Histogram& h) {
   os << "{\"count\":" << h.Count() << ",\"sum\":" << JsonNumber(h.Sum())

@@ -34,6 +34,15 @@
 
 namespace msn::obs {
 
+/// JSON string escaping shared by every JSON emitter in the tree
+/// (RunStats, the batch report, the service responses): control
+/// characters, quotes, backslashes.
+std::string JsonEscape(const std::string& s);
+
+/// JSON number: fixed-precision round-trip decimal; non-finite becomes
+/// null (JSON has no inf/nan).
+std::string JsonNumber(double v);
+
 /// Monotonically increasing event count.
 class Counter {
  public:

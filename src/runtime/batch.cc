@@ -131,32 +131,6 @@ std::string Num(double v, int precision = 1) {
   return TablePrinter::Num(v, precision);
 }
 
-/// JSON string escaping for net names / error messages (mirrors the
-/// obs renderer's rules: control characters, quotes, backslashes).
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          std::ostringstream hex;
-          hex << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-              << static_cast<int>(static_cast<unsigned char>(c));
-          out += hex.str();
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 }  // namespace
 
 BatchResult OptimizeBatch(std::vector<BatchJob> jobs,
@@ -269,9 +243,9 @@ void WriteBatchStatsJson(std::ostream& os, const BatchResult& batch) {
   for (std::size_t i = 0; i < batch.nets.size(); ++i) {
     const NetOutcome& out = batch.nets[i];
     if (i > 0) os << ',';
-    os << "{\"name\":\"" << JsonEscape(out.name) << '"';
+    os << "{\"name\":\"" << obs::JsonEscape(out.name) << '"';
     if (!out.error.empty()) {
-      os << ",\"error\":\"" << JsonEscape(out.error) << '"';
+      os << ",\"error\":\"" << obs::JsonEscape(out.error) << '"';
     }
     os << ",\"ok\":" << (out.ok ? "true" : "false")
        << ",\"wall_ms\":" << out.wall_ms

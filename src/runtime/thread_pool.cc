@@ -68,6 +68,18 @@ void TaskGroup::Run(std::function<void()> fn) {
   }
 }
 
+void TaskGroup::Run(std::function<void()> fn,
+                    std::chrono::steady_clock::time_point deadline,
+                    std::function<void()> on_expired) {
+  Run([fn = std::move(fn), on_expired = std::move(on_expired), deadline] {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      if (on_expired) on_expired();
+    } else {
+      fn();
+    }
+  });
+}
+
 void TaskGroup::DrainOne(const std::shared_ptr<State>& state) {
   std::function<void()> task;
   {

@@ -19,6 +19,7 @@
 #ifndef MSN_RUNTIME_THREAD_POOL_H
 #define MSN_RUNTIME_THREAD_POOL_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -92,6 +93,18 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   void Run(std::function<void()> fn);
+
+  /// Deadline-aware variant for request/response engines (the service
+  /// layer's per-request deadlines): if the task has not *started* by
+  /// `deadline`, `on_expired` runs in its place — on whichever thread
+  /// would have run `fn`, still inside the group (Wait() covers it).
+  /// The deadline bounds admission, not completion: a task that starts
+  /// in time runs to the end (the DP is not preemptible), so expiry is
+  /// deterministic for a given dequeue time, never a mid-flight abort.
+  void Run(std::function<void()> fn,
+           std::chrono::steady_clock::time_point deadline,
+           std::function<void()> on_expired);
+
   void Wait();
 
  private:

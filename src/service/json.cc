@@ -1,0 +1,272 @@
+#include "service/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace msn::service {
+namespace {
+
+[[noreturn]] void Fail(std::size_t pos, const std::string& what) {
+  throw CheckError("json: " + what + " at byte " + std::to_string(pos));
+}
+
+/// Appends the UTF-8 encoding of `cp` (already validated <= 0x10FFFF).
+void AppendUtf8(std::string* out, unsigned long cp) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue v = ParseValue(0);
+    SkipSpace();
+    if (pos_ != text_.size()) Fail(pos_, "trailing characters");
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      Fail(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool Literal(const char* word) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue ParseValue(std::size_t depth) {
+    if (depth > kMaxDepth) Fail(pos_, "nesting too deep");
+    SkipSpace();
+    const char c = Peek();
+    JsonValue v;
+    if (c == '{') {
+      v.kind_ = JsonValue::Kind::kObject;
+      ++pos_;
+      SkipSpace();
+      if (Peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        SkipSpace();
+        if (Peek() != '"') Fail(pos_, "expected object key string");
+        std::string key = ParseString();
+        SkipSpace();
+        Expect(':');
+        v.object_[std::move(key)] = ParseValue(depth + 1);
+        SkipSpace();
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        Expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v.kind_ = JsonValue::Kind::kArray;
+      ++pos_;
+      SkipSpace();
+      if (Peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        v.array_.push_back(ParseValue(depth + 1));
+        SkipSpace();
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        Expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind_ = JsonValue::Kind::kString;
+      v.string_ = ParseString();
+      return v;
+    }
+    if (Literal("true")) {
+      v.kind_ = JsonValue::Kind::kBool;
+      v.bool_ = true;
+      return v;
+    }
+    if (Literal("false")) {
+      v.kind_ = JsonValue::Kind::kBool;
+      v.bool_ = false;
+      return v;
+    }
+    if (Literal("null")) return v;
+    return ParseNumber();
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail(pos_, "expected a value");
+    const std::string slice = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(slice.c_str(), &end);
+    if (end != slice.c_str() + slice.size()) Fail(start, "bad number");
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.number_ = value;
+    return v;
+  }
+
+  unsigned long ParseHex4() {
+    if (pos_ + 4 > text_.size()) Fail(pos_, "truncated \\u escape");
+    unsigned long cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') {
+        cp |= static_cast<unsigned long>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        cp |= static_cast<unsigned long>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        cp |= static_cast<unsigned long>(c - 'A' + 10);
+      } else {
+        Fail(pos_ - 1, "bad \\u escape digit");
+      }
+    }
+    return cp;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) Fail(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail(pos_ - 1, "raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail(pos_, "truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned long cp = ParseHex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00-\uDFFF.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              Fail(pos_, "unpaired high surrogate");
+            }
+            pos_ += 2;
+            const unsigned long low = ParseHex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              Fail(pos_, "bad low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            Fail(pos_, "unpaired low surrogate");
+          }
+          AppendUtf8(&out, cp);
+          break;
+        }
+        default:
+          Fail(pos_ - 1, "unknown escape");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::Parse(const std::string& text) {
+  return JsonParser(text).ParseDocument();
+}
+
+bool JsonValue::AsBool() const {
+  MSN_CHECK_MSG(IsBool(), "json value is not a bool");
+  return bool_;
+}
+
+double JsonValue::AsNumber() const {
+  MSN_CHECK_MSG(IsNumber(), "json value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::AsString() const {
+  MSN_CHECK_MSG(IsString(), "json value is not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  MSN_CHECK_MSG(IsArray(), "json value is not an array");
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::AsObject() const {
+  MSN_CHECK_MSG(IsObject(), "json value is not an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!IsObject()) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+}  // namespace msn::service

@@ -1,0 +1,69 @@
+// Minimal JSON value model and recursive-descent parser for the service
+// protocol (docs/SERVICE.md).
+//
+// The serve loop speaks line-delimited JSON; requests are small flat
+// objects (op, id, net text, a few numbers), so this parser favors
+// simplicity over speed: one pass, no allocation tricks, strict UTF-8
+// passthrough.  Scope notes:
+//   * numbers parse via strtod (full JSON number grammar accepted);
+//   * \uXXXX escapes decode to UTF-8; surrogate pairs are combined,
+//     unpaired surrogates are rejected;
+//   * duplicate object keys keep the last value (like most parsers);
+//   * depth is bounded (kMaxDepth) so hostile input cannot blow the
+//     stack — the serve loop feeds untrusted bytes here.
+// Malformed input throws msn::CheckError with a byte offset, which the
+// server turns into a structured error response.
+#ifndef MSN_SERVICE_JSON_H
+#define MSN_SERVICE_JSON_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace msn::service {
+
+/// One parsed JSON value (tagged union over the seven JSON kinds, with
+/// true/false folded into kBool).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses exactly one JSON document from `text` (trailing garbage is
+  /// an error).  Throws msn::CheckError on malformed input.
+  static JsonValue Parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool IsNull() const { return kind_ == Kind::kNull; }
+  bool IsBool() const { return kind_ == Kind::kBool; }
+  bool IsNumber() const { return kind_ == Kind::kNumber; }
+  bool IsString() const { return kind_ == Kind::kString; }
+  bool IsArray() const { return kind_ == Kind::kArray; }
+  bool IsObject() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::map<std::string, JsonValue>& AsObject() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  JsonValue() = default;
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace msn::service
+
+#endif  // MSN_SERVICE_JSON_H

@@ -1,0 +1,442 @@
+#include "service/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "core/msri.h"
+#include "io/netfile.h"
+#include "service/json.h"
+
+namespace msn::service {
+namespace {
+
+/// Renders one frontier point as a [cost, ard_ps, num_repeaters] triple.
+void AppendPoint(std::ostream& os, const TradeoffSummary& p) {
+  os << '[' << obs::JsonNumber(p.cost) << ',' << obs::JsonNumber(p.ard_ps)
+     << ',' << p.num_repeaters << ']';
+}
+
+/// The optional leading `"id":<json>,` fragment echoed into every
+/// response.  String and number ids are supported; anything else (or no
+/// id at all) yields an empty fragment.
+std::string IdField(const JsonValue& request) {
+  const JsonValue* id = request.Find("id");
+  if (id == nullptr) return "";
+  if (id->IsString()) {
+    return "\"id\":\"" + obs::JsonEscape(id->AsString()) + "\",";
+  }
+  if (id->IsNumber()) {
+    return "\"id\":" + obs::JsonNumber(id->AsNumber()) + ",";
+  }
+  return "";
+}
+
+/// Duplex streambuf over a connected socket fd (TCP serve mode).
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(ibuf_, ibuf_, ibuf_);
+    setp(obuf_, obuf_ + sizeof(obuf_));
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t n = ::read(fd_, ibuf_, sizeof(ibuf_));
+    if (n <= 0) return traits_type::eof();
+    setg(ibuf_, ibuf_, ibuf_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (FlushOut() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return FlushOut(); }
+
+ private:
+  int FlushOut() {
+    const std::ptrdiff_t n = pptr() - pbase();
+    std::ptrdiff_t done = 0;
+    while (done < n) {
+      const ssize_t w = ::write(fd_, pbase() + done,
+                                static_cast<std::size_t>(n - done));
+      if (w <= 0) return -1;
+      done += w;
+    }
+    setp(obuf_, obuf_ + sizeof(obuf_));
+    return 0;
+  }
+
+  int fd_;
+  char ibuf_[1 << 16];
+  char obuf_[1 << 16];
+};
+
+}  // namespace
+
+Server::Server(const Technology& tech, const ServerOptions& options)
+    : tech_(tech),
+      options_(options),
+      cache_(options.cache),
+      pool_(std::max<std::size_t>(1, options.jobs)) {
+  tech_.Validate();
+}
+
+std::string Server::ErrorResponse(const std::string& id_field,
+                                  const std::string& message,
+                                  bool timeout) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    if (timeout) {
+      ++counters_.timeouts;
+    } else {
+      ++counters_.errors;
+    }
+  }
+  std::string out = "{" + id_field + "\"ok\":false";
+  if (timeout) out += ",\"timeout\":true";
+  out += ",\"error\":\"" + obs::JsonEscape(message) + "\"}";
+  return out;
+}
+
+std::string Server::HandleOptimize(const JsonValue& request,
+                                   const std::string& id_field) {
+  try {
+    const JsonValue* net = request.Find("net");
+    if (net == nullptr || !net->IsString()) {
+      return ErrorResponse(id_field, "optimize requires a string 'net'",
+                           false);
+    }
+    std::istringstream net_stream(net->AsString());
+    const RcTree tree = ReadNet(net_stream);
+
+    // Mode resolution mirrors `msn_cli optimize --mode`.
+    std::string mode = "repeaters";
+    if (const JsonValue* m = request.Find("mode"); m != nullptr) {
+      if (!m->IsString()) {
+        return ErrorResponse(id_field, "'mode' must be a string", false);
+      }
+      mode = m->AsString();
+    }
+    MsriOptions opt;
+    if (mode == "sizing" || mode == "joint") {
+      opt.size_drivers = true;
+      opt.sizing_library = DriverSizingLibrary(tech_, {1.0, 2.0, 3.0, 4.0});
+      opt.insert_repeaters = mode == "joint";
+    } else if (mode != "repeaters") {
+      return ErrorResponse(id_field, "unknown mode '" + mode + "'", false);
+    }
+
+    std::optional<double> spec;
+    if (const JsonValue* s = request.Find("spec_ps"); s != nullptr) {
+      if (!s->IsNumber()) {
+        return ErrorResponse(id_field, "'spec_ps' must be a number", false);
+      }
+      spec = s->AsNumber();
+    }
+
+    const CanonicalRequest canon = Canonicalize(tree, tech_, opt);
+    const std::pair<std::uint64_t, std::uint64_t> key{canon.fingerprint.hi,
+                                                      canon.fingerprint.lo};
+    std::optional<MsriSummary> summary;
+    for (;;) {
+      summary = cache_.Lookup(canon);
+      if (summary.has_value()) break;
+      {
+        std::unique_lock<std::mutex> lock(inflight_mu_);
+        if (inflight_.count(key) > 0) {
+          // An identical request is mid-DP on another thread: coalesce —
+          // wait for its insert, then retry the lookup.  The owner never
+          // waits, so every waiter is blocked on running work and this
+          // cannot deadlock.
+          inflight_cv_.wait(lock);
+          continue;
+        }
+        inflight_.insert(key);
+      }
+      try {
+        // Thread-confined per-request registry, merged under the stats
+        // mutex after the DP — the obs single-threaded contract holds.
+        obs::RunStats run;
+        obs::StatsSink sink(&run);
+        opt.stats = &sink;
+        const MsriResult result = RunMsri(tree, tech_, opt);
+        summary = Summarize(result);
+        cache_.Insert(canon, *summary);
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        aggregate_.MergeFrom(run);
+        ++counters_.dp_runs;
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_.erase(key);
+        inflight_cv_.notify_all();
+        throw;
+      }
+      {
+        const std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_.erase(key);
+        inflight_cv_.notify_all();
+      }
+      break;
+    }
+
+    // The payload is a pure function of the request: no timing, no
+    // hit/miss marker — a cached answer is byte-identical to the first.
+    std::ostringstream os;
+    os << '{' << id_field << "\"ok\":true,\"fingerprint\":\""
+       << canon.fingerprint.Hex() << "\",\"pareto_points\":"
+       << summary->pareto.size() << ",\"pareto\":[";
+    for (std::size_t i = 0; i < summary->pareto.size(); ++i) {
+      if (i > 0) os << ',';
+      AppendPoint(os, summary->pareto[i]);
+    }
+    os << "],\"min_cost\":";
+    if (const TradeoffSummary* p = summary->MinCost()) {
+      AppendPoint(os, *p);
+    } else {
+      os << "null";
+    }
+    os << ",\"min_ard\":";
+    if (const TradeoffSummary* p = summary->MinArd()) {
+      AppendPoint(os, *p);
+    } else {
+      os << "null";
+    }
+    if (spec.has_value()) {
+      os << ",\"spec_ps\":" << obs::JsonNumber(*spec) << ",\"pick\":";
+      if (const TradeoffSummary* p = summary->MinCostFeasible(*spec)) {
+        AppendPoint(os, *p);
+      } else {
+        os << "null";
+      }
+    }
+    os << '}';
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++counters_.ok;
+    }
+    return os.str();
+  } catch (const std::exception& e) {
+    // Containment: a malformed net or throwing DP answers this request
+    // only; the loop and every other in-flight request are unaffected.
+    return ErrorResponse(id_field, e.what(), false);
+  }
+}
+
+std::string Server::Dispatch(const std::string& line, bool* shutdown) {
+  JsonValue request;
+  std::string id_field;
+  try {
+    request = JsonValue::Parse(line);
+    id_field = IdField(request);
+  } catch (const std::exception& e) {
+    return ErrorResponse("", e.what(), false);
+  }
+  const JsonValue* op = request.Find("op");
+  if (op == nullptr || !op->IsString()) {
+    return ErrorResponse(id_field, "request requires a string 'op'", false);
+  }
+  const std::string& name = op->AsString();
+  if (name == "optimize") return HandleOptimize(request, id_field);
+  if (name == "stats") {
+    std::ostringstream os;
+    WriteStatsJson(os);
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.ok;
+    return "{" + id_field + os.str().substr(1);
+  }
+  if (name == "flush") {
+    cache_.Flush();
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++counters_.ok;
+    }
+    return "{" + id_field + "\"ok\":true,\"flushed\":true}";
+  }
+  if (name == "shutdown") {
+    if (shutdown != nullptr) *shutdown = true;
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++counters_.ok;
+    }
+    return "{" + id_field + "\"ok\":true,\"shutdown\":true}";
+  }
+  return ErrorResponse(id_field, "unknown op '" + name + "'", false);
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.received;
+  }
+  bool shutdown = false;
+  return Dispatch(line, &shutdown);
+}
+
+bool Server::Serve(std::istream& in, std::ostream& out) {
+  std::mutex out_mu;
+  const auto write_line = [&out, &out_mu](const std::string& line) {
+    const std::lock_guard<std::mutex> lock(out_mu);
+    out << line << '\n';
+    out.flush();
+  };
+
+  runtime::TaskGroup group(&pool_);
+  bool shutdown = false;
+  std::string line;
+  while (!shutdown && std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++counters_.received;
+    }
+    JsonValue request;
+    std::string id_field;
+    try {
+      request = JsonValue::Parse(line);
+      id_field = IdField(request);
+    } catch (const std::exception& e) {
+      write_line(ErrorResponse("", e.what(), false));
+      continue;
+    }
+    const JsonValue* op = request.Find("op");
+    if (op == nullptr || !op->IsString()) {
+      write_line(
+          ErrorResponse(id_field, "request requires a string 'op'", false));
+      continue;
+    }
+    if (op->AsString() == "optimize") {
+      // Per-request deadline: an explicit deadline_ms wins, else the
+      // server default; absent/<=0 with no explicit field means none.
+      bool has_deadline = options_.default_deadline_ms > 0.0;
+      double deadline_ms = options_.default_deadline_ms;
+      if (const JsonValue* d = request.Find("deadline_ms"); d != nullptr) {
+        if (!d->IsNumber() || d->AsNumber() < 0.0) {
+          write_line(ErrorResponse(
+              id_field, "'deadline_ms' must be a non-negative number",
+              false));
+          continue;
+        }
+        has_deadline = true;
+        deadline_ms = d->AsNumber();
+      }
+      auto run = [this, write_line, request = std::move(request),
+                  id_field] {
+        write_line(HandleOptimize(request, id_field));
+      };
+      if (has_deadline) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(deadline_ms));
+        group.Run(std::move(run), deadline,
+                  [this, write_line, id_field] {
+                    write_line(ErrorResponse(
+                        id_field, "deadline exceeded before start", true));
+                  });
+      } else {
+        group.Run(std::move(run));
+      }
+      continue;
+    }
+    // stats / flush / shutdown / unknown are barriers: drain in-flight
+    // optimizes so their answers reflect a settled state.
+    group.Wait();
+    write_line(Dispatch(line, &shutdown));
+  }
+  group.Wait();
+  return shutdown;
+}
+
+int Server::ServeTcp(std::uint16_t port, std::ostream& log) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    log << "service: socket: " << std::strerror(errno) << '\n';
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 4) != 0) {
+    log << "service: bind/listen 127.0.0.1:" << port << ": "
+        << std::strerror(errno) << '\n';
+    ::close(listener);
+    return 1;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  log << "service: listening on 127.0.0.1:" << ntohs(bound.sin_port)
+      << '\n';
+  log.flush();
+  for (;;) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      log << "service: accept: " << std::strerror(errno) << '\n';
+      ::close(listener);
+      return 1;
+    }
+    FdStreamBuf buf(conn);
+    std::istream conn_in(&buf);
+    std::ostream conn_out(&buf);
+    const bool shutdown = Serve(conn_in, conn_out);
+    conn_out.flush();
+    ::close(conn);
+    if (shutdown) {
+      ::close(listener);
+      return 0;
+    }
+  }
+}
+
+void Server::WriteStatsJson(std::ostream& os) const {
+  obs::RunStats registry;
+  RequestCounters counters;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    registry.MergeFrom(aggregate_);
+    counters = counters_;
+  }
+  cache_.ExportStats(&registry);
+  const CacheStats cache = cache_.Snapshot();
+  os << "{\"schema\":\"msn-service-stats-v1\",\"jobs\":"
+     << pool_.NumThreads() << ",\"cache\":{\"shards\":"
+     << cache_.NumShards() << ",\"entries\":" << cache.entries
+     << ",\"bytes\":" << cache.bytes << ",\"max_entries\":"
+     << cache_.Config().max_entries << ",\"max_bytes\":"
+     << cache_.Config().max_bytes << ",\"hits\":" << cache.hits
+     << ",\"misses\":" << cache.misses << ",\"evictions\":"
+     << cache.evictions << ",\"insertions\":" << cache.insertions
+     << ",\"collisions\":" << cache.collisions << ",\"flushes\":"
+     << cache.flushes << "},\"requests\":{\"received\":"
+     << counters.received << ",\"ok\":" << counters.ok << ",\"errors\":"
+     << counters.errors << ",\"timeouts\":" << counters.timeouts
+     << ",\"dp_runs\":" << counters.dp_runs << "},\"registry\":"
+     << registry.JsonString() << '}';
+}
+
+}  // namespace msn::service

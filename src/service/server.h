@@ -1,0 +1,119 @@
+// Long-running optimization service: a request/response engine layered
+// on the runtime thread pool with a canonical-fingerprint solution cache
+// (docs/SERVICE.md).
+//
+// Protocol: line-delimited JSON, one request per line, one response per
+// line.  Ops:
+//   {"op":"optimize","id":"r1","net":"<.msn text>","mode":"repeaters",
+//    "spec_ps":950,"deadline_ms":50}
+//   {"op":"stats"}     -> msn-service-stats-v1 document
+//   {"op":"flush"}     -> drops every cache entry
+//   {"op":"shutdown"}  -> drains in-flight work and stops the loop
+//
+// Contracts:
+//   * Error containment: a malformed line, unknown op, bad net, or
+//     throwing DP yields a structured {"ok":false,"error":...} response;
+//     nothing kills the loop.
+//   * Determinism per request: the optimize response payload is a pure
+//     function of the request (no timing, no cache-state markers), so an
+//     identical request answered from cache is byte-identical to the
+//     first answer.  Whether it WAS cached is visible only through the
+//     stats op (hit counters, DP invocation counters).
+//   * Ordering: optimize requests fan out onto the pool and respond as
+//     they complete (match responses by id); stats/flush/shutdown are
+//     barriers — they drain in-flight optimizes first, so their answers
+//     are deterministic.
+//   * Deadlines: a request whose deadline passes before it starts is
+//     answered {"ok":false,"timeout":true,...} without running; other
+//     in-flight requests are untouched (see TaskGroup's deadline Run).
+#ifndef MSN_SERVICE_SERVER_H
+#define MSN_SERVICE_SERVER_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "obs/stats.h"
+#include "runtime/thread_pool.h"
+#include "service/cache.h"
+#include "tech/tech.h"
+
+namespace msn::service {
+
+struct ServerOptions {
+  /// Pool threads serving optimize requests (>= 1).
+  std::size_t jobs = 1;
+  CacheConfig cache;
+  /// Applied to optimize requests that carry no deadline_ms of their
+  /// own; <= 0 means no deadline.
+  double default_deadline_ms = 0.0;
+};
+
+class Server {
+ public:
+  Server(const Technology& tech, const ServerOptions& options);
+
+  /// Processes one request line synchronously and returns the response
+  /// line (without trailing newline).  Never throws on bad input — the
+  /// response carries the error.  Deadlines do not apply on this path
+  /// (there is no queue to wait in); the serve loop enforces them.
+  std::string HandleLine(const std::string& line);
+
+  /// The serve loop: reads request lines from `in` until EOF or a
+  /// shutdown op, writing one response line per request to `out`
+  /// (completion order; match by id).  Returns true when stopped by
+  /// shutdown, false on EOF.
+  bool Serve(std::istream& in, std::ostream& out);
+
+  /// TCP front: accepts loopback connections on `port` (0 lets the
+  /// kernel pick; the chosen port is logged to `log`), servicing one
+  /// connection at a time with Serve.  Returns 0 after a shutdown op,
+  /// 1 on a socket-layer failure.
+  int ServeTcp(std::uint16_t port, std::ostream& log);
+
+  /// The msn-service-stats-v1 document: service counters, cache
+  /// snapshot, and the merged per-request DP registry.
+  void WriteStatsJson(std::ostream& os) const;
+
+  const SolutionCache& Cache() const { return cache_; }
+
+ private:
+  struct RequestCounters {
+    std::uint64_t received = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t dp_runs = 0;
+  };
+
+  std::string Dispatch(const std::string& line, bool* shutdown);
+  std::string HandleOptimize(const class JsonValue& request,
+                             const std::string& id_field);
+  std::string ErrorResponse(const std::string& id_field,
+                            const std::string& message, bool timeout);
+
+  const Technology tech_;
+  const ServerOptions options_;
+  SolutionCache cache_;
+  runtime::ThreadPool pool_;
+
+  mutable std::mutex stats_mu_;
+  obs::RunStats aggregate_;  ///< Merged per-request DP registries.
+  RequestCounters counters_;
+
+  /// In-flight miss coalescing: identical concurrent requests wait for
+  /// the first one's insert instead of running the DP in parallel, so
+  /// "submit the same net twice" runs the DP exactly once at any --jobs.
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> inflight_;
+};
+
+}  // namespace msn::service
+
+#endif  // MSN_SERVICE_SERVER_H

@@ -90,4 +90,35 @@ if(NOT out MATCHES "expects a number")
   message(FATAL_ERROR "bad --spec value not diagnosed: ${out}")
 endif()
 
+# Unknown flags print the usage text to stderr and exit 2 — they must
+# never be silently ignored (a typo'd --mode would otherwise run the
+# wrong optimization and exit 0).
+run_cli(2 out optimize net.msn --bogus-flag 1)
+if(NOT out MATCHES "unknown flag '--bogus-flag'" OR NOT out MATCHES "usage:")
+  message(FATAL_ERROR "unknown flag not rejected with usage: ${out}")
+endif()
+run_cli(2 out gen --terminals 4 --stats -o x.msn)  # valid elsewhere only
+run_cli(2 out serve --port)                        # flag missing a value
+if(NOT out MATCHES "needs a value")
+  message(FATAL_ERROR "valueless --port not diagnosed: ${out}")
+endif()
+run_cli(2 out serve extra-positional)
+
+# The serve loop answers on stdin/stdout and exits 0 on shutdown.
+file(WRITE ${WORK}/serve_input.txt
+     "{\"op\":\"stats\",\"id\":\"s\"}\n{\"op\":\"shutdown\"}\n")
+execute_process(
+  COMMAND ${CLI} serve
+  INPUT_FILE ${WORK}/serve_input.txt
+  WORKING_DIRECTORY ${WORK}
+  RESULT_VARIABLE serve_rc
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "serve exited ${serve_rc}: ${serve_out} ${serve_err}")
+endif()
+if(NOT serve_out MATCHES "msn-service-stats-v1")
+  message(FATAL_ERROR "serve stats response malformed: ${serve_out}")
+endif()
+
 message(STATUS "msn_cli end-to-end test passed")

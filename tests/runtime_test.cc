@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -132,6 +133,25 @@ TEST(TaskGroup, NestedGroupsOnOneSaturatedPoolDoNotDeadlock) {
   }
   outer.Wait();
   EXPECT_EQ(leaf_count.load(), 64);
+}
+
+TEST(TaskGroup, DeadlineBoundsAdmissionNotCompletion) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::atomic<int> expired{0};
+  TaskGroup group(&pool);
+  const auto now = std::chrono::steady_clock::now();
+  for (int i = 0; i < 8; ++i) {
+    // A far-future deadline admits the task; an already-passed one runs
+    // on_expired in its place.  Both count toward Wait().
+    group.Run([&ran] { ++ran; }, now + std::chrono::hours(1),
+              [&expired] { ++expired; });
+    group.Run([&ran] { ++ran; }, now - std::chrono::milliseconds(1),
+              [&expired] { ++expired; });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(expired.load(), 8);
 }
 
 TEST(Executors, PoolMatchesSerialSemantics) {
@@ -264,6 +284,59 @@ TEST(Batch, CollectNetPathsDirectorySortedAndManifestResolved) {
   EXPECT_THROW(runtime::CollectNetPaths(
                    (dir.path / "missing").string()),
                CheckError);
+}
+
+TEST(Batch, EmptyManifestIsAnExplicitError) {
+  ScratchDir dir("empty_manifest");
+  std::ofstream(dir.path / "empty.list") << "# nothing here\n\n";
+  EXPECT_THROW(
+      runtime::CollectNetPaths((dir.path / "empty.list").string()),
+      CheckError);
+  // An explicitly empty path vector, by contrast, is a no-op batch.
+  const BatchResult batch = runtime::OptimizeBatchFiles(
+      {}, SmallTech(), MsriOptions{}, BatchOptions{});
+  EXPECT_TRUE(batch.AllOk());
+  EXPECT_TRUE(batch.nets.empty());
+}
+
+TEST(Batch, DuplicateManifestPathsOptimizeIndependentlyInOrder) {
+  ScratchDir dir("dup_paths");
+  WriteNetFile(dir.path / "a.msn", ExperimentNet(3));
+  std::ofstream(dir.path / "dup.list") << "a.msn\na.msn\na.msn\n";
+  const auto paths =
+      runtime::CollectNetPaths((dir.path / "dup.list").string());
+  ASSERT_EQ(paths.size(), 3u);  // Duplicates preserved, not deduped.
+  BatchOptions opt;
+  opt.jobs = 3;
+  const BatchResult batch = runtime::OptimizeBatchFiles(
+      paths, SmallTech(), MsriOptions{}, opt);
+  ASSERT_EQ(batch.nets.size(), 3u);
+  for (const runtime::NetOutcome& net : batch.nets) {
+    EXPECT_TRUE(net.ok);
+    EXPECT_EQ(net.name, batch.nets[0].name);
+    ASSERT_FALSE(net.result.Pareto().empty());
+    EXPECT_DOUBLE_EQ(net.result.MinArd()->ard_ps,
+                     batch.nets[0].result.MinArd()->ard_ps);
+  }
+}
+
+TEST(Batch, MissingFileIsContainedAtItsIndex) {
+  ScratchDir dir("missing_file");
+  WriteNetFile(dir.path / "a.msn", ExperimentNet(4));
+  const std::string good = (dir.path / "a.msn").string();
+  const std::string gone = (dir.path / "nope.msn").string();
+  BatchOptions opt;
+  opt.jobs = 2;
+  const BatchResult batch = runtime::OptimizeBatchFiles(
+      {good, gone, good}, SmallTech(), MsriOptions{}, opt);
+  ASSERT_EQ(batch.nets.size(), 3u);  // Input order preserved.
+  EXPECT_TRUE(batch.nets[0].ok);
+  EXPECT_FALSE(batch.nets[1].ok);
+  EXPECT_FALSE(batch.nets[1].error.empty());
+  EXPECT_TRUE(batch.nets[2].ok);
+  ASSERT_EQ(batch.errors.size(), 1u);
+  EXPECT_EQ(batch.errors[0].index, 1u);
+  EXPECT_EQ(batch.errors[0].name, gone);
 }
 
 TEST(Batch, AggregateStatsMergePerNetRegistries) {

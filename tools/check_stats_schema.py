@@ -1,13 +1,13 @@
 #!/usr/bin/env python3
-"""Validates msn-run-stats-v1 / msn-bench-stats-v1 / msn-batch-stats-v1
-JSON files.
+"""Validates msn-run-stats-v1 / msn-bench-stats-v1 / msn-batch-stats-v1 /
+msn-service-stats-v1 JSON files.
 
 Usage:
     check_stats_schema.py STATS.json [STATS.json ...]
 
 Exit code 0 when every file conforms, 1 otherwise (first problem printed
 to stderr).  Pure stdlib; the schemas are documented in
-docs/OBSERVABILITY.md (run/bench) and docs/RUNTIME.md (batch).
+docs/OBSERVABILITY.md (run/bench/service) and docs/RUNTIME.md (batch).
 """
 import json
 import numbers
@@ -16,6 +16,17 @@ import sys
 RUN_SCHEMA = "msn-run-stats-v1"
 BENCH_SCHEMA = "msn-bench-stats-v1"
 BATCH_SCHEMA = "msn-batch-stats-v1"
+SERVICE_SCHEMA = "msn-service-stats-v1"
+
+# The service stats document's fixed integer fields
+# (docs/OBSERVABILITY.md; emitted by src/service/server.cc).
+REQUIRED_SERVICE_CACHE = (
+    "shards", "entries", "bytes", "max_entries", "max_bytes",
+    "hits", "misses", "evictions", "insertions", "collisions", "flushes",
+)
+REQUIRED_SERVICE_REQUESTS = (
+    "received", "ok", "errors", "timeouts", "dp_runs",
+)
 
 # Batch aggregate instruments the runtime engine always records.
 REQUIRED_BATCH_HISTOGRAMS = (
@@ -146,11 +157,36 @@ def _check_batch(doc, path):
     return f"{path}: ok ({BATCH_SCHEMA}, {len(nets)} nets)"
 
 
+def _check_service(doc, path):
+    """msn-service-stats-v1: jobs, cache + request counters, registry."""
+    if not isinstance(doc.get("jobs"), int) or doc["jobs"] < 1:
+        raise SchemaError(f"{path}: service 'jobs' must be a positive int")
+    for section, required in (("cache", REQUIRED_SERVICE_CACHE),
+                              ("requests", REQUIRED_SERVICE_REQUESTS)):
+        obj = doc.get(section)
+        if not isinstance(obj, dict):
+            raise SchemaError(f"{path}: missing object section {section!r}")
+        for name in required:
+            v = obj.get(name)
+            if not isinstance(v, int) or v < 0:
+                raise SchemaError(f"{path}: {section}.{name} must be a"
+                                  " non-negative integer")
+    cache = doc["cache"]
+    if cache["entries"] > cache["max_entries"]:
+        raise SchemaError(f"{path}: cache over entry budget"
+                          f" ({cache['entries']} > {cache['max_entries']})")
+    _check_run(doc.get("registry"), f"{path} registry")
+    return (f"{path}: ok ({SERVICE_SCHEMA},"
+            f" {doc['requests']['received']} requests)")
+
+
 def check_file(path, strict_optimize=False):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     if isinstance(doc, dict) and doc.get("schema") == BATCH_SCHEMA:
         return _check_batch(doc, path)
+    if isinstance(doc, dict) and doc.get("schema") == SERVICE_SCHEMA:
+        return _check_service(doc, path)
     if isinstance(doc, dict) and doc.get("schema") == BENCH_SCHEMA:
         if not isinstance(doc.get("bench"), str) or not doc["bench"]:
             raise SchemaError(f"{path}: bench trajectory missing 'bench'")

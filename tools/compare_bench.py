@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Compare two bench trajectory files for performance regressions.
+
+Accepts any of the tree's stats documents on either side:
+
+  * msn-bench-stats-v1          (one bench, one run per configuration)
+  * msn-bench-stats-v1-merged   ({"benches": [<trajectory>, ...]})
+  * msn-run-stats-v1            (treated as a single-run trajectory)
+
+Runs are matched by (bench name, labels, non-timing values) — the
+configuration identity — and their timing metrics (value names ending in
+`_s`/`_ms`/`_us` or containing `time`, e.g. `linear_s`, `time_s`)
+compared as new/old ratios.  A matched metric whose baseline is at least
+--min-seconds and whose ratio exceeds --threshold is a regression.
+
+Exit codes: 0 = no regression, 1 = regression found, 2 = bad invocation
+or unreadable input.  CI runs this as a non-blocking step: machine noise
+makes timing ratios advisory, so a red result flags a PR for a human
+look rather than failing the build.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json
+           [--threshold 1.25] [--min-seconds 0.001]
+"""
+
+import argparse
+import json
+import sys
+
+
+TIMING_SUFFIXES = ("_s", "_ms", "_us")
+
+
+def is_timing_metric(name):
+    return name.endswith(TIMING_SUFFIXES) or "time" in name
+
+
+def to_seconds(name, value):
+    if name.endswith("_ms"):
+        return value / 1e3
+    if name.endswith("_us"):
+        return value / 1e6
+    return value
+
+
+def load_runs(path):
+    """Yields (bench_name, run_document) for every run in `path`."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print("compare_bench: cannot read %s: %s" % (path, e),
+              file=sys.stderr)
+        sys.exit(2)
+    schema = doc.get("schema", "")
+    if schema == "msn-bench-stats-v1-merged":
+        trajectories = doc.get("benches", [])
+    elif schema == "msn-bench-stats-v1":
+        trajectories = [doc]
+    elif schema == "msn-run-stats-v1":
+        return [("run", doc)]
+    else:
+        print("compare_bench: %s: unsupported schema %r" % (path, schema),
+              file=sys.stderr)
+        sys.exit(2)
+    runs = []
+    for t in trajectories:
+        for run in t.get("runs", []):
+            runs.append((t.get("bench", "?"), run))
+    return runs
+
+
+def config_key(bench, run):
+    labels = tuple(sorted(run.get("labels", {}).items()))
+    config_values = tuple(sorted(
+        (k, v) for k, v in run.get("values", {}).items()
+        if not is_timing_metric(k) and k != "speedup"))
+    return (bench, labels, config_values)
+
+
+def timing_metrics(run):
+    return {k: to_seconds(k, v)
+            for k, v in run.get("values", {}).items()
+            if is_timing_metric(k) and isinstance(v, (int, float))}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="max allowed new/old ratio (default 1.25)")
+    ap.add_argument("--min-seconds", type=float, default=0.001,
+                    help="ignore metrics whose baseline is below this")
+    args = ap.parse_args()
+    if args.threshold <= 0:
+        ap.error("--threshold must be positive")
+
+    base = {}
+    for bench, run in load_runs(args.baseline):
+        base.setdefault(config_key(bench, run), run)
+
+    compared = 0
+    unmatched = 0
+    regressions = []
+    for bench, run in load_runs(args.current):
+        key = config_key(bench, run)
+        if key not in base:
+            unmatched += 1
+            continue
+        old = timing_metrics(base[key])
+        new = timing_metrics(run)
+        config = ", ".join("%s=%s" % (k, v) for k, v in key[1] + key[2])
+        for name in sorted(set(old) & set(new)):
+            if old[name] < args.min_seconds:
+                continue
+            ratio = new[name] / old[name] if old[name] > 0 else float("inf")
+            compared += 1
+            marker = ""
+            if ratio > args.threshold:
+                regressions.append((bench, config, name, ratio))
+                marker = "  <-- REGRESSION"
+            print("%-24s %-40s %-16s %8.3fs -> %8.3fs  x%.2f%s"
+                  % (bench, config[:40], name, old[name], new[name],
+                     ratio, marker))
+
+    if unmatched:
+        print("compare_bench: %d current run(s) had no baseline match"
+              % unmatched)
+    if compared == 0:
+        print("compare_bench: no comparable timing metrics "
+              "(different benches or configs?)")
+        return 0
+    if regressions:
+        print("compare_bench: %d regression(s) above x%.2f:"
+              % (len(regressions), args.threshold))
+        for bench, config, name, ratio in regressions:
+            print("  %s [%s] %s x%.2f" % (bench, config, name, ratio))
+        return 1
+    print("compare_bench: OK (%d metric(s) within x%.2f)"
+          % (compared, args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

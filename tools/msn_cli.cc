@@ -20,9 +20,16 @@
 //       (docs/RUNTIME.md).
 //   msn_cli render NET.msn [SOLUTION.msn]
 //       ASCII sketch of the net (with repeater markers if given).
+//   msn_cli serve [--jobs N] [--cache-entries K] [--cache-bytes B]
+//           [--cache-shards S] [--deadline-ms D] [--port P]
+//       Long-running optimization service: line-delimited JSON requests on
+//       stdin (or a loopback TCP port with --port), responses on stdout,
+//       answers cached by canonical net fingerprint (docs/SERVICE.md).
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -38,6 +45,7 @@
 #include "netgen/netgen.h"
 #include "obs/stats.h"
 #include "runtime/batch.h"
+#include "service/server.h"
 #include "tech/tech.h"
 
 namespace {
@@ -47,6 +55,13 @@ using namespace msn;
 /// User-facing command-line mistakes: reported as a one-line `error: ...`
 /// with exit code 1, without the MSN_CHECK internals prefix.
 struct CliError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed invocations (unknown flag, missing value): reported as a
+/// one-line `error: ...` followed by the usage text, exit code 2 — so
+/// scripts can tell "you called me wrong" (2) from "the run failed" (1).
+struct UsageError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
@@ -62,26 +77,38 @@ struct CliError : std::runtime_error {
       "  msn_cli optimize-batch DIR|MANIFEST [--jobs N] [--spec PS]"
       " [--mode repeaters|sizing|joint] [--intra-net]"
       " [--stats=FILE.json]\n"
-      "  msn_cli render NET.msn [SOLUTION.msn]\n";
+      "  msn_cli render NET.msn [SOLUTION.msn]\n"
+      "  msn_cli serve [--jobs N] [--cache-entries K] [--cache-bytes B]"
+      " [--cache-shards S] [--deadline-ms D] [--port P]\n";
   std::exit(2);
 }
 
 /// Accepts `--flag VALUE`, `--flag=VALUE`, and the value-less `--stats`.
-std::map<std::string, std::string> ParseFlags(int argc, char** argv,
-                                              int first,
-                                              std::vector<std::string>* pos) {
+/// A flag outside `allowed` is a UsageError: every command declares its
+/// flag set, so typos fail loudly (usage + exit 2) instead of being
+/// silently ignored.
+std::map<std::string, std::string> ParseFlags(
+    int argc, char** argv, int first, std::vector<std::string>* pos,
+    std::initializer_list<const char*> allowed) {
   std::map<std::string, std::string> flags;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0 || arg == "-o") {
       const std::size_t eq = arg.find('=');
+      const std::string name =
+          eq == std::string::npos ? arg : arg.substr(0, eq);
+      if (std::find(allowed.begin(), allowed.end(), name) ==
+          allowed.end()) {
+        throw UsageError("unknown flag '" + name + "' for " +
+                         std::string(argv[1]));
+      }
       if (eq != std::string::npos) {
-        flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+        flags[name] = arg.substr(eq + 1);
       } else if (arg == "--stats" || arg == "--intra-net") {
         flags[arg] = "";  // Value-less flags.
       } else {
         if (i + 1 >= argc) {
-          throw CliError("flag " + arg + " needs a value");
+          throw UsageError("flag " + arg + " needs a value");
         }
         flags[arg] = argv[++i];
       }
@@ -140,7 +167,9 @@ SolutionFile LoadSolution(const std::string& path, const RcTree& tree) {
 
 int CmdGen(int argc, char** argv) {
   std::vector<std::string> pos;
-  const auto flags = ParseFlags(argc, argv, 2, &pos);
+  const auto flags =
+      ParseFlags(argc, argv, 2, &pos,
+                 {"--terminals", "--seed", "--grid", "--spacing", "-o"});
   MSN_CHECK_MSG(flags.count("--terminals") && flags.count("-o"),
                 "gen requires --terminals and -o");
   NetConfig cfg;
@@ -167,7 +196,7 @@ int CmdGen(int argc, char** argv) {
 
 int CmdArd(int argc, char** argv) {
   std::vector<std::string> pos;
-  ParseFlags(argc, argv, 2, &pos);
+  ParseFlags(argc, argv, 2, &pos, {});
   MSN_CHECK_MSG(!pos.empty(), "ard requires a net file");
   const RcTree tree = LoadNet(pos[0]);
   const Technology tech = DefaultTechnology();
@@ -213,7 +242,8 @@ MsriOptions ModeOptions(const std::map<std::string, std::string>& flags,
 
 int CmdOptimize(int argc, char** argv) {
   std::vector<std::string> pos;
-  const auto flags = ParseFlags(argc, argv, 2, &pos);
+  const auto flags = ParseFlags(argc, argv, 2, &pos,
+                                {"--spec", "--mode", "--stats", "-o"});
   MSN_CHECK_MSG(!pos.empty(), "optimize requires a net file");
   const RcTree tree = LoadNet(pos[0]);
   const Technology tech = DefaultTechnology();
@@ -297,7 +327,9 @@ int CmdOptimize(int argc, char** argv) {
 
 int CmdOptimizeBatch(int argc, char** argv) {
   std::vector<std::string> pos;
-  const auto flags = ParseFlags(argc, argv, 2, &pos);
+  const auto flags =
+      ParseFlags(argc, argv, 2, &pos,
+                 {"--jobs", "--spec", "--mode", "--intra-net", "--stats"});
   MSN_CHECK_MSG(!pos.empty(),
                 "optimize-batch requires a directory or manifest");
   const Technology tech = DefaultTechnology();
@@ -348,7 +380,7 @@ int CmdOptimizeBatch(int argc, char** argv) {
 
 int CmdRender(int argc, char** argv) {
   std::vector<std::string> pos;
-  ParseFlags(argc, argv, 2, &pos);
+  ParseFlags(argc, argv, 2, &pos, {});
   MSN_CHECK_MSG(!pos.empty(), "render requires a net file");
   const RcTree tree = LoadNet(pos[0]);
   RepeaterAssignment repeaters(tree.NumNodes());
@@ -357,6 +389,54 @@ int CmdRender(int argc, char** argv) {
   }
   DescribeNet(std::cout, tree);
   std::cout << RenderAscii(tree, repeaters, 72, 30);
+  return 0;
+}
+
+int CmdServe(int argc, char** argv) {
+  std::vector<std::string> pos;
+  const auto flags =
+      ParseFlags(argc, argv, 2, &pos,
+                 {"--jobs", "--cache-entries", "--cache-bytes",
+                  "--cache-shards", "--deadline-ms", "--port"});
+  if (!pos.empty()) {
+    throw UsageError("serve takes no positional arguments");
+  }
+  service::ServerOptions opt;
+  if (flags.count("--jobs")) {
+    const double jobs = NumericFlag(flags, "--jobs");
+    if (jobs < 1) throw CliError("--jobs must be at least 1");
+    opt.jobs = static_cast<std::size_t>(jobs);
+  }
+  if (flags.count("--cache-entries")) {
+    const double n = NumericFlag(flags, "--cache-entries");
+    if (n < 1) throw CliError("--cache-entries must be at least 1");
+    opt.cache.max_entries = static_cast<std::size_t>(n);
+  }
+  if (flags.count("--cache-bytes")) {
+    const double n = NumericFlag(flags, "--cache-bytes");
+    if (n < 1) throw CliError("--cache-bytes must be at least 1");
+    opt.cache.max_bytes = static_cast<std::size_t>(n);
+  }
+  if (flags.count("--cache-shards")) {
+    const double n = NumericFlag(flags, "--cache-shards");
+    if (n < 1) throw CliError("--cache-shards must be at least 1");
+    opt.cache.shards = static_cast<std::size_t>(n);
+  }
+  if (flags.count("--deadline-ms")) {
+    const double d = NumericFlag(flags, "--deadline-ms");
+    if (d < 0) throw CliError("--deadline-ms must be non-negative");
+    opt.default_deadline_ms = d;
+  }
+  const Technology tech = DefaultTechnology();
+  service::Server server(tech, opt);
+  if (flags.count("--port")) {
+    const double port = NumericFlag(flags, "--port");
+    if (port < 0 || port > 65535) {
+      throw CliError("--port must be in [0, 65535]");
+    }
+    return server.ServeTcp(static_cast<std::uint16_t>(port), std::cerr);
+  }
+  server.Serve(std::cin, std::cout);
   return 0;
 }
 
@@ -371,6 +451,10 @@ int main(int argc, char** argv) {
     if (cmd == "optimize") return CmdOptimize(argc, argv);
     if (cmd == "optimize-batch") return CmdOptimizeBatch(argc, argv);
     if (cmd == "render") return CmdRender(argc, argv);
+    if (cmd == "serve") return CmdServe(argc, argv);
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    Usage();
   } catch (const CliError& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

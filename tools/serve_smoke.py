@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Smoke-test `msn_cli serve` end to end over stdin/stdout.
+
+Drives one server process through the full protocol and asserts the
+service contracts from docs/SERVICE.md:
+
+  * the same net submitted twice returns byte-identical response lines,
+    with the second answered from the cache (cache hits >= 1) and no DP
+    re-execution (requests.dp_runs == 1, registry msri.total calls == 1);
+  * malformed JSON and unknown ops are contained as {"ok":false,...}
+    responses, not crashes;
+  * an already-expired deadline yields a structured timeout;
+  * flush empties the cache, so a re-submit runs the DP again;
+  * shutdown stops the loop with exit code 0.
+
+Usage: serve_smoke.py /path/to/msn_cli [--jobs N]
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg):
+    print("serve_smoke: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: serve_smoke.py /path/to/msn_cli [--jobs N]")
+    cli = sys.argv[1]
+    jobs = "2"
+    if "--jobs" in sys.argv:
+        jobs = sys.argv[sys.argv.index("--jobs") + 1]
+
+    fd, net_path = tempfile.mkstemp(suffix=".msn")
+    os.close(fd)
+    try:
+        gen = subprocess.run(
+            [cli, "gen", "--terminals", "5", "--seed", "11",
+             "-o", net_path],
+            capture_output=True, text=True, timeout=120)
+        if gen.returncode != 0:
+            fail("gen exited %d: %s" % (gen.returncode, gen.stderr))
+        with open(net_path) as f:
+            net = f.read()
+    finally:
+        os.unlink(net_path)
+
+    opt = {"op": "optimize", "id": "r", "net": net, "spec_ps": 1000.0}
+    requests = [
+        json.dumps(opt),
+        json.dumps(opt),
+        json.dumps({"op": "stats", "id": "s1"}),
+        "this is not json",
+        json.dumps({"op": "frobnicate", "id": "u"}),
+        json.dumps({"op": "optimize", "id": "t", "net": net,
+                    "deadline_ms": 0}),
+        json.dumps({"op": "flush", "id": "f"}),
+        json.dumps(opt),
+        json.dumps({"op": "stats", "id": "s2"}),
+        json.dumps({"op": "shutdown", "id": "x"}),
+    ]
+    proc = subprocess.run(
+        [cli, "serve", "--jobs", jobs, "--cache-entries", "64"],
+        input="\n".join(requests) + "\n",
+        capture_output=True, text=True, timeout=300)
+    if proc.returncode != 0:
+        fail("serve exited %d: %s" % (proc.returncode, proc.stderr))
+    lines = [l for l in proc.stdout.splitlines() if l.strip()]
+    if len(lines) != len(requests):
+        fail("expected %d response lines, got %d" %
+             (len(requests), len(lines)))
+
+    def with_id(rid):
+        return [l for l in lines if json.loads(l).get("id") == rid]
+
+    # Byte-identical duplicate answered from cache, DP ran once.
+    dup = with_id("r")[:2]
+    if len(dup) != 2 or dup[0] != dup[1]:
+        fail("duplicate optimize responses are not byte-identical")
+    if not json.loads(dup[0])["ok"]:
+        fail("optimize failed: %s" % dup[0])
+    s1 = json.loads(with_id("s1")[0])
+    if s1["cache"]["hits"] < 1:
+        fail("second identical request did not hit the cache: %s"
+             % s1["cache"])
+    if s1["requests"]["dp_runs"] != 1:
+        fail("expected exactly 1 DP run, got %d"
+             % s1["requests"]["dp_runs"])
+    if s1["registry"]["timers"]["msri.total"]["calls"] != 1:
+        fail("registry reports %d msri.total calls, expected 1"
+             % s1["registry"]["timers"]["msri.total"]["calls"])
+
+    # Containment.
+    bad = json.loads(lines[3])
+    if bad.get("ok") or "error" not in bad:
+        fail("malformed JSON was not contained: %s" % lines[3])
+    unk = json.loads(with_id("u")[0])
+    if unk.get("ok") or "unknown op" not in unk["error"]:
+        fail("unknown op was not contained: %s" % unk)
+
+    # Structured timeout for an already-expired deadline.
+    tmo = json.loads(with_id("t")[0])
+    if tmo.get("ok") or not tmo.get("timeout"):
+        fail("deadline_ms=0 did not produce a structured timeout: %s"
+             % tmo)
+
+    # Flush forces a second DP run for the re-submitted net.
+    s2 = json.loads(with_id("s2")[0])
+    if s2["requests"]["dp_runs"] != 2:
+        fail("expected 2 DP runs after flush + resubmit, got %d"
+             % s2["requests"]["dp_runs"])
+    if s2["cache"]["flushes"] != 1:
+        fail("expected 1 flush, got %d" % s2["cache"]["flushes"])
+    third = with_id("r")[2]
+    if third != dup[0]:
+        fail("post-flush recompute changed the response bytes")
+    if s2.get("schema") != "msn-service-stats-v1":
+        fail("stats schema is %r" % s2.get("schema"))
+
+    print("serve_smoke: OK (%d responses, cache hits=%d, dp_runs=%d)"
+          % (len(lines), s2["cache"]["hits"], s2["requests"]["dp_runs"]))
+
+
+if __name__ == "__main__":
+    main()
