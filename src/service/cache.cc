@@ -8,23 +8,46 @@
 namespace msn::service {
 namespace {
 
+/// Shard-count ceiling: striping past this buys nothing and the naive
+/// round-up loop would overflow for adversarially huge requests.
+constexpr std::size_t kMaxShards = std::size_t{1} << 16;
+/// Minimum byte-budget slice per shard; splitting finer than this turns
+/// every shard into a single-entry cache that evicts on each insert.
+constexpr std::size_t kMinShardBytes = 4096;
+
 std::size_t RoundUpPowerOfTwo(std::size_t n) {
+  // Caller clamps n <= kMaxShards, so the shift cannot overflow.
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
 }
 
-std::size_t EntryBytes(const std::string& text, const MsriSummary& summary) {
-  // Canonical text + summary heap + bookkeeping (list node, map slot).
-  return text.size() + summary.ApproxBytes() + 128;
+std::size_t FloorPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p <= n / 2) p <<= 1;
+  return p;
 }
 
 }  // namespace
 
+std::size_t SolutionCache::EntryCost(const std::string& text,
+                                     const MsriSummary& summary) {
+  // Canonical text + summary heap + bookkeeping (list node, map slot).
+  return text.size() + summary.ApproxBytes() + 128;
+}
+
 SolutionCache::SolutionCache(const CacheConfig& config) : config_(config) {
   MSN_CHECK_MSG(config.max_entries >= 1, "cache max_entries must be >= 1");
-  const std::size_t n =
-      RoundUpPowerOfTwo(std::max<std::size_t>(1, config.shards));
+  MSN_CHECK_MSG(config.max_bytes >= 1, "cache max_bytes must be >= 1");
+  // Clamp the stripe count to what the budgets can feed: never more
+  // shards than budgeted entries, and never slices under kMinShardBytes
+  // (a config like max_bytes < shards used to hand every shard a ~1-byte
+  // budget, evicting everything but the newest entry).
+  std::size_t n = RoundUpPowerOfTwo(
+      std::clamp<std::size_t>(config.shards, 1, kMaxShards));
+  n = std::min(n, FloorPowerOfTwo(config.max_entries));
+  n = std::min(n, FloorPowerOfTwo(std::max<std::size_t>(
+                      1, config.max_bytes / kMinShardBytes)));
   config_.shards = n;
   per_shard_entries_ = std::max<std::size_t>(1, config.max_entries / n);
   per_shard_bytes_ = std::max<std::size_t>(1, config.max_bytes / n);
@@ -76,7 +99,7 @@ void SolutionCache::Insert(const CanonicalRequest& request,
     entry_it->second.text = request.text;
     entry_it->second.summary = std::move(summary);
     entry_it->second.bytes =
-        EntryBytes(entry_it->second.text, entry_it->second.summary);
+        EntryCost(entry_it->second.text, entry_it->second.summary);
     shard.bytes += entry_it->second.bytes;
     shard.lru.splice(shard.lru.begin(), shard.lru, entry_it);
     EvictOverBudgetLocked(shard);
@@ -85,7 +108,7 @@ void SolutionCache::Insert(const CanonicalRequest& request,
   Entry entry;
   entry.text = request.text;
   entry.summary = std::move(summary);
-  entry.bytes = EntryBytes(entry.text, entry.summary);
+  entry.bytes = EntryCost(entry.text, entry.summary);
   shard.bytes += entry.bytes;
   shard.lru.emplace_front(request.fingerprint, std::move(entry));
   shard.index.emplace(key, shard.lru.begin());
@@ -116,6 +139,17 @@ void SolutionCache::Flush() {
   }
   const std::lock_guard<std::mutex> lock(flush_mu_);
   ++flushes_;
+}
+
+std::vector<SolutionCache::DumpedEntry> SolutionCache::Dump() const {
+  std::vector<DumpedEntry> out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [fp, entry] : shard->lru) {
+      out.push_back({fp, entry.text, entry.summary});
+    }
+  }
+  return out;
 }
 
 CacheStats SolutionCache::Snapshot() const {

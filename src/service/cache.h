@@ -32,7 +32,12 @@
 namespace msn::service {
 
 struct CacheConfig {
-  /// Mutex stripes; rounded up to a power of two, at least 1.
+  /// Mutex stripes; rounded to a power of two, at least 1.  The
+  /// constructor clamps the effective count so every shard's slice of
+  /// the entry and byte budgets stays meaningful: more shards than
+  /// budgeted entries (or fewer than ~4KB of byte budget per shard)
+  /// would silently degenerate to one-entry shards that evict on every
+  /// insert.
   std::size_t shards = 8;
   /// Whole-cache entry budget (split evenly across shards, min 1 each).
   std::size_t max_entries = 4096;
@@ -66,6 +71,22 @@ class SolutionCache {
 
   /// Drops every entry (counters survive; flushes increments).
   void Flush();
+
+  /// One entry copied out of the cache (persistence compaction).
+  struct DumpedEntry {
+    Fingerprint fingerprint;
+    std::string text;
+    MsriSummary summary;
+  };
+  /// Copies every entry, most-recently-used first within each shard
+  /// (shards concatenated) — callers preserving recency write the
+  /// reverse order.
+  std::vector<DumpedEntry> Dump() const;
+
+  /// The byte charge an entry with this text/summary carries against
+  /// the budget (texts + summaries + bookkeeping overhead).
+  static std::size_t EntryCost(const std::string& text,
+                               const MsriSummary& summary);
 
   CacheStats Snapshot() const;
 

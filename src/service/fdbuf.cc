@@ -1,0 +1,91 @@
+#include "service/fdbuf.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace msn::service {
+
+bool WriteFully(int fd, const char* data, std::size_t n,
+                FdWriteFn write_fn) {
+  if (write_fn == nullptr) {
+    write_fn = [](int f, const void* buf, std::size_t len) {
+      return ::write(f, buf, len);
+    };
+  }
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = write_fn(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;  // signal mid-write: retry
+      return false;
+    }
+    if (w == 0) return false;  // no progress; avoid spinning forever
+    done += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool ReadFully(int fd, char* data, std::size_t n, FdReadFn read_fn) {
+  if (read_fn == nullptr) {
+    read_fn = [](int f, void* buf, std::size_t len) {
+      return ::read(f, buf, len);
+    };
+  }
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = read_fn(fd, data + done, n - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF short of n
+    done += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+FdStreamBuf::FdStreamBuf(int fd, FdReadFn read_fn, FdWriteFn write_fn)
+    : fd_(fd), read_fn_(read_fn), write_fn_(write_fn) {
+  if (read_fn_ == nullptr) {
+    read_fn_ = [](int f, void* buf, std::size_t len) {
+      return ::read(f, buf, len);
+    };
+  }
+  setg(ibuf_, ibuf_, ibuf_);
+  setp(obuf_, obuf_ + sizeof(obuf_));
+}
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  for (;;) {
+    const ssize_t n = read_fn_(fd_, ibuf_, sizeof(ibuf_));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return traits_type::eof();
+    setg(ibuf_, ibuf_, ibuf_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch) {
+  if (FlushOut() != 0) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreamBuf::sync() { return FlushOut(); }
+
+int FdStreamBuf::FlushOut() {
+  const std::ptrdiff_t n = pptr() - pbase();
+  if (n > 0 &&
+      !WriteFully(fd_, pbase(), static_cast<std::size_t>(n), write_fn_)) {
+    return -1;
+  }
+  setp(obuf_, obuf_ + sizeof(obuf_));
+  return 0;
+}
+
+}  // namespace msn::service

@@ -1,0 +1,61 @@
+// EINTR-safe POSIX fd I/O for the service layer: a duplex std::streambuf
+// over a connected socket (the TCP serve path) and the WriteFully /
+// ReadFully helpers the segment writer shares.
+//
+// The write path is the reason this exists as its own unit: a signal
+// landing mid-response must not drop bytes of a JSON reply, so every
+// write loop retries EINTR and continues short writes until the buffer
+// is down (the same discipline the accept loop applies to EINTR).  The
+// raw I/O functions are injectable so tests can interpose a scripted
+// short-writing / EINTR-raising fd without real signals.
+#ifndef MSN_SERVICE_FDBUF_H
+#define MSN_SERVICE_FDBUF_H
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <streambuf>
+
+namespace msn::service {
+
+/// Signatures of ::read / ::write, injectable for fault testing.
+using FdReadFn = ssize_t (*)(int fd, void* buf, std::size_t n);
+using FdWriteFn = ssize_t (*)(int fd, const void* buf, std::size_t n);
+
+/// Writes all `n` bytes to `fd`, retrying EINTR and short writes.
+/// Returns false on any other error or on a zero-progress write.
+bool WriteFully(int fd, const char* data, std::size_t n,
+                FdWriteFn write_fn = nullptr);
+
+/// Reads exactly `n` bytes, retrying EINTR.  False on error or EOF
+/// before `n` bytes arrived.
+bool ReadFully(int fd, char* data, std::size_t n,
+               FdReadFn read_fn = nullptr);
+
+/// Duplex streambuf over a connected fd (TCP serve mode).  Reads retry
+/// EINTR; writes go through WriteFully, so a signal mid-flush cannot
+/// truncate a response line.
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd, FdReadFn read_fn = nullptr,
+                       FdWriteFn write_fn = nullptr);
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  int FlushOut();
+
+  static constexpr std::size_t kBufBytes = 1 << 16;
+  int fd_;
+  FdReadFn read_fn_;
+  FdWriteFn write_fn_;
+  char ibuf_[kBufBytes];
+  char obuf_[kBufBytes];
+};
+
+}  // namespace msn::service
+
+#endif  // MSN_SERVICE_FDBUF_H

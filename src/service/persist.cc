@@ -1,0 +1,283 @@
+#include "service/persist.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace msn::service {
+namespace {
+
+std::pair<std::uint64_t, std::uint64_t> LiveKey(const Fingerprint& fp) {
+  return {fp.hi, fp.lo};
+}
+
+}  // namespace
+
+std::string PersistentCache::SegmentPath(const std::string& dir) {
+  return dir + "/cache.msnseg";
+}
+
+PersistentCache::PersistentCache(const CacheConfig& cache_config,
+                                 const PersistConfig& persist_config)
+    : cache_(cache_config), pconfig_(persist_config) {
+  if (pconfig_.dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(pconfig_.dir, ec);
+  MSN_CHECK_MSG(!ec, "cannot create cache dir '" << pconfig_.dir << "': "
+                                                 << ec.message());
+  WarmFromSegment();
+  enabled_ = true;
+  counters_.enabled = true;
+  worker_ = std::thread([this] { WriterLoop(); });
+}
+
+PersistentCache::~PersistentCache() {
+  if (!enabled_) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  worker_.join();  // drains and fsyncs before exiting
+}
+
+void PersistentCache::WarmFromSegment() {
+  const std::string path = SegmentPath(pconfig_.dir);
+  const ReplayStats rs = ReplaySegment(
+      path, pconfig_.max_record_bytes,
+      [this](SegmentRecord&& rec, std::uint64_t framed_bytes) {
+        // A record bigger than the whole cache budget could never be
+        // kept; skip it (it stays on disk as dead weight until the next
+        // compaction).
+        if (SolutionCache::EntryCost(rec.text, rec.summary) >
+            cache_.Config().max_bytes) {
+          ++counters_.skipped;
+          return;
+        }
+        const auto key = LiveKey(rec.fingerprint);
+        const auto it = live_.find(key);
+        if (it != live_.end()) {
+          live_sum_ -= it->second;  // superseded: last record wins
+        }
+        live_[key] = framed_bytes;
+        live_sum_ += framed_bytes;
+        CanonicalRequest request;
+        request.fingerprint = rec.fingerprint;
+        request.text = std::move(rec.text);
+        // Oldest-first insertion order: LRU eviction under the budget
+        // keeps the newest replayed records.
+        cache_.Insert(request, std::move(rec.summary));
+        ++counters_.replayed;
+      });
+  counters_.skipped += rs.skipped;
+  counters_.truncations += rs.truncations;
+  if (rs.file_exists && !rs.header_ok) {
+    ++counters_.header_resets;
+    live_.clear();
+    live_sum_ = 0;
+  }
+  const std::uint64_t keep =
+      rs.truncations > 0 ? rs.valid_bytes : std::uint64_t{0};
+  MSN_CHECK_MSG(writer_.Open(path, keep),
+                "cannot open cache segment '"
+                    << path << "' (already locked by another server?)");
+  counters_.file_bytes = writer_.FileBytes();
+  counters_.live_bytes = live_sum_;
+  counters_.dead_bytes = DeadBytesLocked();
+}
+
+std::uint64_t PersistentCache::DeadBytesLocked() const {
+  const std::uint64_t used = kSegmentHeaderBytes + live_sum_;
+  const std::uint64_t file = writer_.FileBytes();
+  return file > used ? file - used : 0;
+}
+
+void PersistentCache::Insert(const CanonicalRequest& request,
+                             MsriSummary summary) {
+  if (!enabled_) {
+    cache_.Insert(request, std::move(summary));
+    return;
+  }
+  Op op;
+  op.record.fingerprint = request.fingerprint;
+  op.record.text = request.text;
+  op.record.summary = summary;  // copy: the cache takes the original
+  cache_.Insert(request, std::move(summary));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(op));
+  }
+  work_cv_.notify_all();
+}
+
+void PersistentCache::Flush() {
+  cache_.Flush();
+  if (!enabled_) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.clear();  // pending appends are part of what's being flushed
+    Op op;
+    op.truncate = true;
+    queue_.push_back(std::move(op));
+  }
+  work_cv_.notify_all();
+  Sync();  // flushed entries must not resurrect after a crash
+}
+
+void PersistentCache::Sync() {
+  if (!enabled_) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.notify_all();
+  idle_cv_.wait(lock,
+                [this] { return queue_.empty() && !busy_ && !dirty_; });
+}
+
+void PersistentCache::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!queue_.empty()) {
+      Op op = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;  // Sync must not observe "idle" mid-append.
+      lock.unlock();
+      // File I/O off the lock: inserts never wait on the disk.
+      if (op.truncate) {
+        DoTruncate();
+        lock.lock();
+        dirty_ = false;  // TruncateToHeader fsyncs
+      } else {
+        const bool ok = DoAppend(op.record);
+        lock.lock();
+        if (ok) {
+          ++counters_.appends;
+          dirty_ = true;
+        } else {
+          ++counters_.append_errors;  // disk trouble: keep serving
+        }
+      }
+      counters_.file_bytes = writer_.FileBytes();
+      counters_.live_bytes = live_sum_;
+      counters_.dead_bytes = DeadBytesLocked();
+      if (counters_.dead_bytes >= pconfig_.compact_min_dead_bytes &&
+          counters_.dead_bytes > counters_.live_bytes) {
+        CompactLocked(lock);
+      }
+      busy_ = false;
+      continue;
+    }
+    if (dirty_) {
+      lock.unlock();
+      writer_.Sync();
+      lock.lock();
+      dirty_ = false;
+      continue;
+    }
+    idle_cv_.notify_all();
+    if (stop_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+bool PersistentCache::DoAppend(const SegmentRecord& record) {
+  const std::string framed = EncodeFramedRecord(record);
+  if (!writer_.AppendFramed(framed)) return false;
+  const auto key = LiveKey(record.fingerprint);
+  const auto it = live_.find(key);
+  if (it != live_.end()) live_sum_ -= it->second;
+  live_[key] = framed.size();
+  live_sum_ += framed.size();
+  return true;
+}
+
+void PersistentCache::DoTruncate() {
+  writer_.TruncateToHeader();
+  live_.clear();
+  live_sum_ = 0;
+}
+
+void PersistentCache::CompactLocked(std::unique_lock<std::mutex>& lock) {
+  lock.unlock();
+  // Rewrite the in-memory entries (the authoritative live set — budget
+  // evictions and supersessions both disappear) to a temp segment, then
+  // atomically rename it over the old one.
+  const std::string path = SegmentPath(pconfig_.dir);
+  const std::string tmp_path = path + ".tmp";
+  std::vector<SolutionCache::DumpedEntry> dump = cache_.Dump();
+  SegmentWriter tmp;
+  bool ok = tmp.Open(tmp_path) && tmp.TruncateToHeader();
+  if (ok) {
+    // Oldest first, so budget-aware replay keeps the newest again.
+    for (auto it = dump.rbegin(); ok && it != dump.rend(); ++it) {
+      SegmentRecord rec;
+      rec.fingerprint = it->fingerprint;
+      rec.text = std::move(it->text);
+      rec.summary = std::move(it->summary);
+      ok = tmp.Append(rec);
+    }
+  }
+  ok = ok && tmp.Sync();
+  if (ok) {
+    writer_.Close();
+    tmp.Close();
+    ok = std::rename(tmp_path.c_str(), path.c_str()) == 0;
+  } else {
+    tmp.Close();
+    std::remove(tmp_path.c_str());
+  }
+  // Reopen the (new or unchanged) segment for appending; rebuild the
+  // live map from what actually got written.
+  const bool reopened = writer_.Open(path);
+  if (ok && reopened) {
+    live_.clear();
+    live_sum_ = 0;
+    ReplaySegment(path, pconfig_.max_record_bytes,
+                  [this](SegmentRecord&& rec, std::uint64_t framed_bytes) {
+                    const auto key = LiveKey(rec.fingerprint);
+                    const auto it = live_.find(key);
+                    if (it != live_.end()) live_sum_ -= it->second;
+                    live_[key] = framed_bytes;
+                    live_sum_ += framed_bytes;
+                  });
+  }
+  lock.lock();
+  if (ok && reopened) {
+    ++counters_.compactions;
+  } else {
+    ++counters_.append_errors;
+  }
+  counters_.file_bytes = writer_.FileBytes();
+  counters_.live_bytes = live_sum_;
+  counters_.dead_bytes = DeadBytesLocked();
+  dirty_ = false;
+}
+
+SegmentStats PersistentCache::Segment() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void PersistentCache::ExportStats(obs::RunStats* registry) const {
+  cache_.ExportStats(registry);
+  const SegmentStats seg = Segment();
+  registry->GetCounter("service.segment.appends").Add(seg.appends);
+  registry->GetCounter("service.segment.append_errors")
+      .Add(seg.append_errors);
+  registry->GetCounter("service.segment.replayed").Add(seg.replayed);
+  registry->GetCounter("service.segment.skipped").Add(seg.skipped);
+  registry->GetCounter("service.segment.truncations").Add(seg.truncations);
+  registry->GetCounter("service.segment.header_resets")
+      .Add(seg.header_resets);
+  registry->GetCounter("service.segment.compactions").Add(seg.compactions);
+  registry->SetValue("service.segment.enabled", seg.enabled ? 1.0 : 0.0);
+  registry->SetValue("service.segment.file_bytes",
+                     static_cast<double>(seg.file_bytes));
+  registry->SetValue("service.segment.live_bytes",
+                     static_cast<double>(seg.live_bytes));
+  registry->SetValue("service.segment.dead_bytes",
+                     static_cast<double>(seg.dead_bytes));
+}
+
+}  // namespace msn::service

@@ -17,6 +17,7 @@
 #include "common/check.h"
 #include "core/msri.h"
 #include "io/netfile.h"
+#include "service/fdbuf.h"
 #include "service/json.h"
 
 namespace msn::service {
@@ -43,59 +44,12 @@ std::string IdField(const JsonValue& request) {
   return "";
 }
 
-/// Duplex streambuf over a connected socket fd (TCP serve mode).
-class FdStreamBuf final : public std::streambuf {
- public:
-  explicit FdStreamBuf(int fd) : fd_(fd) {
-    setg(ibuf_, ibuf_, ibuf_);
-    setp(obuf_, obuf_ + sizeof(obuf_));
-  }
-
- protected:
-  int_type underflow() override {
-    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-    const ssize_t n = ::read(fd_, ibuf_, sizeof(ibuf_));
-    if (n <= 0) return traits_type::eof();
-    setg(ibuf_, ibuf_, ibuf_ + n);
-    return traits_type::to_int_type(*gptr());
-  }
-
-  int_type overflow(int_type ch) override {
-    if (FlushOut() != 0) return traits_type::eof();
-    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-      *pptr() = traits_type::to_char_type(ch);
-      pbump(1);
-    }
-    return traits_type::not_eof(ch);
-  }
-
-  int sync() override { return FlushOut(); }
-
- private:
-  int FlushOut() {
-    const std::ptrdiff_t n = pptr() - pbase();
-    std::ptrdiff_t done = 0;
-    while (done < n) {
-      const ssize_t w = ::write(fd_, pbase() + done,
-                                static_cast<std::size_t>(n - done));
-      if (w <= 0) return -1;
-      done += w;
-    }
-    setp(obuf_, obuf_ + sizeof(obuf_));
-    return 0;
-  }
-
-  int fd_;
-  char ibuf_[1 << 16];
-  char obuf_[1 << 16];
-};
-
 }  // namespace
 
 Server::Server(const Technology& tech, const ServerOptions& options)
     : tech_(tech),
       options_(options),
-      cache_(options.cache),
+      cache_(options.cache, options.persist),
       pool_(std::max<std::size_t>(1, options.jobs)) {
   tech_.Validate();
 }
@@ -257,6 +211,9 @@ std::string Server::Dispatch(const std::string& line, bool* shutdown) {
   const std::string& name = op->AsString();
   if (name == "optimize") return HandleOptimize(request, id_field);
   if (name == "stats") {
+    // Settle the write-behind segment first so segment_* counters (and
+    // the on-disk state they describe) reflect every prior insert.
+    cache_.Sync();
     std::ostringstream os;
     WriteStatsJson(os);
     const std::lock_guard<std::mutex> lock(stats_mu_);
@@ -423,6 +380,7 @@ void Server::WriteStatsJson(std::ostream& os) const {
   }
   cache_.ExportStats(&registry);
   const CacheStats cache = cache_.Snapshot();
+  const SegmentStats segment = cache_.Segment();
   os << "{\"schema\":\"msn-service-stats-v1\",\"jobs\":"
      << pool_.NumThreads() << ",\"cache\":{\"shards\":"
      << cache_.NumShards() << ",\"entries\":" << cache.entries
@@ -432,7 +390,18 @@ void Server::WriteStatsJson(std::ostream& os) const {
      << ",\"misses\":" << cache.misses << ",\"evictions\":"
      << cache.evictions << ",\"insertions\":" << cache.insertions
      << ",\"collisions\":" << cache.collisions << ",\"flushes\":"
-     << cache.flushes << "},\"requests\":{\"received\":"
+     << cache.flushes << ",\"segment_enabled\":"
+     << (segment.enabled ? 1 : 0) << ",\"segment_bytes\":"
+     << segment.file_bytes << ",\"segment_live_bytes\":"
+     << segment.live_bytes << ",\"segment_dead_bytes\":"
+     << segment.dead_bytes << ",\"segment_appends\":" << segment.appends
+     << ",\"segment_append_errors\":" << segment.append_errors
+     << ",\"segment_replayed\":" << segment.replayed
+     << ",\"segment_skipped\":" << segment.skipped
+     << ",\"segment_truncations\":" << segment.truncations
+     << ",\"segment_header_resets\":" << segment.header_resets
+     << ",\"segment_compactions\":" << segment.compactions
+     << "},\"requests\":{\"received\":"
      << counters.received << ",\"ok\":" << counters.ok << ",\"errors\":"
      << counters.errors << ",\"timeouts\":" << counters.timeouts
      << ",\"dp_runs\":" << counters.dp_runs << "},\"registry\":"

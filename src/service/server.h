@@ -7,7 +7,8 @@
 //   {"op":"optimize","id":"r1","net":"<.msn text>","mode":"repeaters",
 //    "spec_ps":950,"deadline_ms":50}
 //   {"op":"stats"}     -> msn-service-stats-v1 document
-//   {"op":"flush"}     -> drops every cache entry
+//   {"op":"flush"}     -> drops every cache entry (and, with
+//                         persistence on, durably truncates the segment)
 //   {"op":"shutdown"}  -> drains in-flight work and stops the loop
 //
 // Contracts:
@@ -41,6 +42,7 @@
 #include "obs/stats.h"
 #include "runtime/thread_pool.h"
 #include "service/cache.h"
+#include "service/persist.h"
 #include "tech/tech.h"
 
 namespace msn::service {
@@ -49,6 +51,9 @@ struct ServerOptions {
   /// Pool threads serving optimize requests (>= 1).
   std::size_t jobs = 1;
   CacheConfig cache;
+  /// On-disk cache persistence; `persist.dir` empty keeps the cache
+  /// memory-only (docs/SERVICE.md "Persistence & recovery").
+  PersistConfig persist;
   /// Applied to optimize requests that carry no deadline_ms of their
   /// own; <= 0 means no deadline.
   double default_deadline_ms = 0.0;
@@ -80,7 +85,8 @@ class Server {
   /// snapshot, and the merged per-request DP registry.
   void WriteStatsJson(std::ostream& os) const;
 
-  const SolutionCache& Cache() const { return cache_; }
+  const SolutionCache& Cache() const { return cache_.Memory(); }
+  const PersistentCache& Persistence() const { return cache_; }
 
  private:
   struct RequestCounters {
@@ -99,7 +105,7 @@ class Server {
 
   const Technology tech_;
   const ServerOptions options_;
-  SolutionCache cache_;
+  PersistentCache cache_;
   runtime::ThreadPool pool_;
 
   mutable std::mutex stats_mu_;

@@ -307,6 +307,95 @@ TEST(SolutionCache, FlushDropsEntriesKeepsCounters) {
   EXPECT_EQ(stats.hits, 1u);  // pre-flush hit survives
 }
 
+TEST(SolutionCache, IndexKeyCollisionTakeoverBetweenDistinctFingerprints) {
+  // Two DIFFERENT full fingerprints engineered onto one 64-bit index
+  // key: hi ^ (lo * K) collides when hi absorbs the multiplier.
+  constexpr std::uint64_t kMult = 0x9e3779b97f4a7c15ull;
+  const Fingerprint fp_a{7, 0};
+  const Fingerprint fp_b{7 ^ kMult, 1};
+  ASSERT_NE(fp_a.hi, fp_b.hi);
+  CacheConfig cfg;
+  cfg.shards = 1;  // both fingerprints must land in the same shard
+  SolutionCache cache(cfg);
+  const CanonicalRequest a = Forged(fp_a, "net A");
+  const CanonicalRequest b = Forged(fp_b, "net B");
+  cache.Insert(a, TinySummary(1));
+  ASSERT_TRUE(cache.Lookup(a).has_value());
+  // The colliding lookup is a counted collision, never a wrong answer.
+  EXPECT_FALSE(cache.Lookup(b).has_value());
+  EXPECT_EQ(cache.Snapshot().collisions, 1u);
+  // Inserting the collider takes the slot over: latest wins, and the
+  // displaced entry degrades to a miss (it was unservable anyway).
+  cache.Insert(b, TinySummary(2));
+  EXPECT_EQ(cache.Snapshot().collisions, 2u);
+  EXPECT_FALSE(cache.Lookup(a).has_value());
+  ASSERT_TRUE(cache.Lookup(b).has_value());
+  EXPECT_DOUBLE_EQ(cache.Lookup(b)->pareto[0].cost, 2.0);
+  // The shard's byte accounting followed the takeover (no leak): one
+  // entry's worth, not two.
+  EXPECT_EQ(cache.Snapshot().entries, 1u);
+}
+
+TEST(SolutionCache, EveryFlushCountsAndCountersSurvive) {
+  SolutionCache cache(CacheConfig{});
+  const CanonicalRequest a = Forged(HashBytes("y"), "y");
+  cache.Insert(a, TinySummary(1));
+  ASSERT_TRUE(cache.Lookup(a).has_value());
+  cache.Flush();
+  cache.Flush();  // flushing an already-empty cache still counts
+  const CacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.flushes, 2u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  // Traffic counters are NOT reset by Flush — they describe the cache's
+  // whole lifetime, and the stats op depends on that.
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  // Re-inserting after a flush works normally.
+  cache.Insert(a, TinySummary(2));
+  ASSERT_TRUE(cache.Lookup(a).has_value());
+  EXPECT_EQ(cache.Snapshot().insertions, 2u);
+}
+
+TEST(SolutionCache, HugeShardCountIsClampedNotLoopedOn) {
+  // Regression: shards near SIZE_MAX used to drive the power-of-two
+  // round-up into an overflow loop; now it clamps.
+  CacheConfig cfg;
+  cfg.shards = std::numeric_limits<std::size_t>::max();
+  cfg.max_entries = 8;
+  SolutionCache cache(cfg);
+  EXPECT_LE(cache.NumShards(), 8u);
+  const CanonicalRequest a = Forged(HashBytes("z"), "z");
+  cache.Insert(a, TinySummary(1));
+  EXPECT_TRUE(cache.Lookup(a).has_value());
+}
+
+TEST(SolutionCache, TinyByteBudgetCollapsesShardsInsteadOfDegenerating) {
+  // Regression: max_bytes < shards used to split the byte budget into
+  // ~1-byte slices, silently evicting everything but one entry per
+  // shard.  The constructor now collapses the stripe count first.
+  CacheConfig cfg;
+  cfg.shards = 8;
+  cfg.max_bytes = 6;  // fewer bytes than shards
+  SolutionCache cache(cfg);
+  EXPECT_EQ(cache.NumShards(), 1u);
+  EXPECT_EQ(cache.Config().shards, 1u);
+  // The keep-newest rule applies to the single shard as documented.
+  const CanonicalRequest a = Forged(HashBytes("p"), "p");
+  cache.Insert(a, TinySummary(1));
+  EXPECT_TRUE(cache.Lookup(a).has_value());
+  EXPECT_EQ(cache.Snapshot().entries, 1u);
+}
+
+TEST(SolutionCache, ZeroBudgetsAreRejectedUpFront) {
+  CacheConfig no_entries;
+  no_entries.max_entries = 0;
+  EXPECT_THROW(SolutionCache{no_entries}, CheckError);
+  CacheConfig no_bytes;
+  no_bytes.max_bytes = 0;
+  EXPECT_THROW(SolutionCache{no_bytes}, CheckError);
+}
+
 TEST(SolutionCache, ConcurrentMixedHitMissTraffic) {
   CacheConfig cfg;
   cfg.shards = 4;

@@ -23,6 +23,10 @@ SERVICE_SCHEMA = "msn-service-stats-v1"
 REQUIRED_SERVICE_CACHE = (
     "shards", "entries", "bytes", "max_entries", "max_bytes",
     "hits", "misses", "evictions", "insertions", "collisions", "flushes",
+    "segment_enabled", "segment_bytes", "segment_live_bytes",
+    "segment_dead_bytes", "segment_appends", "segment_append_errors",
+    "segment_replayed", "segment_skipped", "segment_truncations",
+    "segment_header_resets", "segment_compactions",
 )
 REQUIRED_SERVICE_REQUESTS = (
     "received", "ok", "errors", "timeouts", "dp_runs",
@@ -175,6 +179,22 @@ def _check_service(doc, path):
     if cache["entries"] > cache["max_entries"]:
         raise SchemaError(f"{path}: cache over entry budget"
                           f" ({cache['entries']} > {cache['max_entries']})")
+    if cache["segment_enabled"] not in (0, 1):
+        raise SchemaError(f"{path}: cache.segment_enabled must be 0 or 1")
+    if cache["segment_enabled"]:
+        # live + dead never exceed the file (the header is neither).
+        if (cache["segment_live_bytes"] + cache["segment_dead_bytes"]
+                > cache["segment_bytes"]):
+            raise SchemaError(
+                f"{path}: segment byte accounting inconsistent"
+                f" (live {cache['segment_live_bytes']} + dead"
+                f" {cache['segment_dead_bytes']} >"
+                f" {cache['segment_bytes']})")
+    else:
+        for name in REQUIRED_SERVICE_CACHE:
+            if name.startswith("segment_") and cache[name] != 0:
+                raise SchemaError(f"{path}: cache.{name} nonzero while"
+                                  " persistence is disabled")
     _check_run(doc.get("registry"), f"{path} registry")
     return (f"{path}: ok ({SERVICE_SCHEMA},"
             f" {doc['requests']['received']} requests)")

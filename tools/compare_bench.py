@@ -100,20 +100,28 @@ def main():
         base.setdefault(config_key(bench, run), run)
 
     compared = 0
-    unmatched = 0
+    skipped = []
     regressions = []
     for bench, run in load_runs(args.current):
         key = config_key(bench, run)
+        config = ", ".join("%s=%s" % (k, v) for k, v in key[1] + key[2])
         if key not in base:
-            unmatched += 1
+            # A bench or configuration added since the baseline has
+            # nothing to compare against; that is not a regression.
+            skipped.append((bench, config, "no baseline run"))
             continue
         old = timing_metrics(base[key])
         new = timing_metrics(run)
-        config = ", ".join("%s=%s" % (k, v) for k, v in key[1] + key[2])
         for name in sorted(set(old) & set(new)):
+            if old[name] <= 0:
+                # A zero (or negative) baseline time makes the ratio
+                # meaningless — and used to divide by zero.
+                skipped.append((bench, config,
+                                "%s: zero-time baseline" % name))
+                continue
             if old[name] < args.min_seconds:
                 continue
-            ratio = new[name] / old[name] if old[name] > 0 else float("inf")
+            ratio = new[name] / old[name]
             compared += 1
             marker = ""
             if ratio > args.threshold:
@@ -123,9 +131,8 @@ def main():
                   % (bench, config[:40], name, old[name], new[name],
                      ratio, marker))
 
-    if unmatched:
-        print("compare_bench: %d current run(s) had no baseline match"
-              % unmatched)
+    for bench, config, why in skipped:
+        print("compare_bench: skipped %s [%s]: %s" % (bench, config, why))
     if compared == 0:
         print("compare_bench: no comparable timing metrics "
               "(different benches or configs?)")

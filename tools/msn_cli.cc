@@ -21,10 +21,13 @@
 //   msn_cli render NET.msn [SOLUTION.msn]
 //       ASCII sketch of the net (with repeater markers if given).
 //   msn_cli serve [--jobs N] [--cache-entries K] [--cache-bytes B]
-//           [--cache-shards S] [--deadline-ms D] [--port P]
+//           [--cache-shards S] [--cache-dir DIR] [--deadline-ms D]
+//           [--port P]
 //       Long-running optimization service: line-delimited JSON requests on
 //       stdin (or a loopback TCP port with --port), responses on stdout,
 //       answers cached by canonical net fingerprint (docs/SERVICE.md).
+//       --cache-dir persists the cache to DIR/cache.msnseg and warms it
+//       back on restart (crash-safe; docs/SERVICE.md).
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
@@ -79,7 +82,8 @@ struct UsageError : std::runtime_error {
       " [--stats=FILE.json]\n"
       "  msn_cli render NET.msn [SOLUTION.msn]\n"
       "  msn_cli serve [--jobs N] [--cache-entries K] [--cache-bytes B]"
-      " [--cache-shards S] [--deadline-ms D] [--port P]\n";
+      " [--cache-shards S] [--cache-dir DIR] [--deadline-ms D]"
+      " [--port P]\n";
   std::exit(2);
 }
 
@@ -397,7 +401,8 @@ int CmdServe(int argc, char** argv) {
   const auto flags =
       ParseFlags(argc, argv, 2, &pos,
                  {"--jobs", "--cache-entries", "--cache-bytes",
-                  "--cache-shards", "--deadline-ms", "--port"});
+                  "--cache-shards", "--cache-dir", "--deadline-ms",
+                  "--port"});
   if (!pos.empty()) {
     throw UsageError("serve takes no positional arguments");
   }
@@ -421,6 +426,11 @@ int CmdServe(int argc, char** argv) {
     const double n = NumericFlag(flags, "--cache-shards");
     if (n < 1) throw CliError("--cache-shards must be at least 1");
     opt.cache.shards = static_cast<std::size_t>(n);
+  }
+  if (flags.count("--cache-dir")) {
+    const std::string& dir = flags.at("--cache-dir");
+    if (dir.empty()) throw CliError("--cache-dir needs a directory");
+    opt.persist.dir = dir;
   }
   if (flags.count("--deadline-ms")) {
     const double d = NumericFlag(flags, "--deadline-ms");

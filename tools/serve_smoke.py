@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Smoke-test `msn_cli serve` end to end over stdin/stdout.
 
-Drives one server process through the full protocol and asserts the
+Drives server processes through the full protocol and asserts the
 service contracts from docs/SERVICE.md:
 
   * the same net submitted twice returns byte-identical response lines,
@@ -11,16 +11,26 @@ service contracts from docs/SERVICE.md:
     responses, not crashes;
   * an already-expired deadline yields a structured timeout;
   * flush empties the cache, so a re-submit runs the DP again;
-  * shutdown stops the loop with exit code 0.
+  * shutdown stops the loop with exit code 0;
+  * with --cache-dir, a server KILLED without shutdown warms its
+    successor from the on-disk segment: the same requests are answered
+    byte-identically as cache hits, with zero DP runs;
+  * a corrupted segment (bit flip + truncated tail) is recovered from
+    cleanly — damaged records are recomputed, never served wrong.
 
 Usage: serve_smoke.py /path/to/msn_cli [--jobs N]
 """
 
 import json
 import os
+import shutil
 import subprocess
 import sys
 import tempfile
+
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_stats_schema  # noqa: E402  (sibling module)
 
 
 def fail(msg):
@@ -28,28 +38,75 @@ def fail(msg):
     sys.exit(1)
 
 
-def main():
-    if len(sys.argv) < 2:
-        fail("usage: serve_smoke.py /path/to/msn_cli [--jobs N]")
-    cli = sys.argv[1]
-    jobs = "2"
-    if "--jobs" in sys.argv:
-        jobs = sys.argv[sys.argv.index("--jobs") + 1]
+def stats_doc(lines, rid):
+    """Parses the stats response `rid` and schema-checks it."""
+    doc = json.loads(by_id(lines, rid)[0])
+    try:
+        check_stats_schema._check_service(doc, "serve_smoke")
+    except check_stats_schema.SchemaError as e:
+        fail("stats schema violation: %s" % e)
+    return doc
 
+
+def gen_net(cli, seed):
     fd, net_path = tempfile.mkstemp(suffix=".msn")
     os.close(fd)
     try:
         gen = subprocess.run(
-            [cli, "gen", "--terminals", "5", "--seed", "11",
+            [cli, "gen", "--terminals", "5", "--seed", str(seed),
              "-o", net_path],
             capture_output=True, text=True, timeout=120)
         if gen.returncode != 0:
             fail("gen exited %d: %s" % (gen.returncode, gen.stderr))
         with open(net_path) as f:
-            net = f.read()
+            return f.read()
     finally:
         os.unlink(net_path)
 
+
+def run_server(cli, jobs, requests, extra_flags=(), kill_after=None):
+    """Feeds `requests` line by line; returns the response lines.
+
+    With `kill_after` set, SIGKILLs the server after that many responses
+    (no shutdown op, simulating a crash); otherwise waits for a clean
+    exit and checks the exit code.
+    """
+    proc = subprocess.Popen(
+        [cli, "serve", "--jobs", jobs, "--cache-entries", "64"] +
+        list(extra_flags),
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True)
+    lines = []
+    try:
+        for req in requests:
+            proc.stdin.write(req + "\n")
+            proc.stdin.flush()
+        want = kill_after if kill_after is not None else len(requests)
+        for _ in range(want):
+            line = proc.stdout.readline()
+            if not line:
+                fail("server closed stdout after %d responses: %s"
+                     % (len(lines), proc.stderr.read()))
+            lines.append(line.rstrip("\n"))
+    finally:
+        if kill_after is not None:
+            proc.kill()
+            proc.wait()
+        else:
+            proc.stdin.close()
+            err = proc.stderr.read()
+            if proc.wait() != 0:
+                fail("serve exited %d: %s" % (proc.returncode, err))
+    return lines
+
+
+def by_id(lines, rid):
+    return [l for l in lines if json.loads(l).get("id") == rid]
+
+
+def scenario_protocol(cli, jobs):
+    """The original protocol walk: caching, containment, flush."""
+    net = gen_net(cli, seed=11)
     opt = {"op": "optimize", "id": "r", "net": net, "spec_ps": 1000.0}
     requests = [
         json.dumps(opt),
@@ -64,27 +121,18 @@ def main():
         json.dumps({"op": "stats", "id": "s2"}),
         json.dumps({"op": "shutdown", "id": "x"}),
     ]
-    proc = subprocess.run(
-        [cli, "serve", "--jobs", jobs, "--cache-entries", "64"],
-        input="\n".join(requests) + "\n",
-        capture_output=True, text=True, timeout=300)
-    if proc.returncode != 0:
-        fail("serve exited %d: %s" % (proc.returncode, proc.stderr))
-    lines = [l for l in proc.stdout.splitlines() if l.strip()]
+    lines = run_server(cli, jobs, requests)
     if len(lines) != len(requests):
         fail("expected %d response lines, got %d" %
              (len(requests), len(lines)))
 
-    def with_id(rid):
-        return [l for l in lines if json.loads(l).get("id") == rid]
-
     # Byte-identical duplicate answered from cache, DP ran once.
-    dup = with_id("r")[:2]
+    dup = by_id(lines, "r")[:2]
     if len(dup) != 2 or dup[0] != dup[1]:
         fail("duplicate optimize responses are not byte-identical")
     if not json.loads(dup[0])["ok"]:
         fail("optimize failed: %s" % dup[0])
-    s1 = json.loads(with_id("s1")[0])
+    s1 = stats_doc(lines, "s1")
     if s1["cache"]["hits"] < 1:
         fail("second identical request did not hit the cache: %s"
              % s1["cache"])
@@ -94,36 +142,152 @@ def main():
     if s1["registry"]["timers"]["msri.total"]["calls"] != 1:
         fail("registry reports %d msri.total calls, expected 1"
              % s1["registry"]["timers"]["msri.total"]["calls"])
+    if s1["cache"]["segment_enabled"] != 0:
+        fail("persistence reported enabled without --cache-dir")
 
     # Containment.
     bad = json.loads(lines[3])
     if bad.get("ok") or "error" not in bad:
         fail("malformed JSON was not contained: %s" % lines[3])
-    unk = json.loads(with_id("u")[0])
+    unk = json.loads(by_id(lines, "u")[0])
     if unk.get("ok") or "unknown op" not in unk["error"]:
         fail("unknown op was not contained: %s" % unk)
 
     # Structured timeout for an already-expired deadline.
-    tmo = json.loads(with_id("t")[0])
+    tmo = json.loads(by_id(lines, "t")[0])
     if tmo.get("ok") or not tmo.get("timeout"):
         fail("deadline_ms=0 did not produce a structured timeout: %s"
              % tmo)
 
     # Flush forces a second DP run for the re-submitted net.
-    s2 = json.loads(with_id("s2")[0])
+    s2 = stats_doc(lines, "s2")
     if s2["requests"]["dp_runs"] != 2:
         fail("expected 2 DP runs after flush + resubmit, got %d"
              % s2["requests"]["dp_runs"])
     if s2["cache"]["flushes"] != 1:
         fail("expected 1 flush, got %d" % s2["cache"]["flushes"])
-    third = with_id("r")[2]
+    third = by_id(lines, "r")[2]
     if third != dup[0]:
         fail("post-flush recompute changed the response bytes")
     if s2.get("schema") != "msn-service-stats-v1":
         fail("stats schema is %r" % s2.get("schema"))
-
-    print("serve_smoke: OK (%d responses, cache hits=%d, dp_runs=%d)"
+    print("serve_smoke: protocol OK (%d responses, hits=%d, dp_runs=%d)"
           % (len(lines), s2["cache"]["hits"], s2["requests"]["dp_runs"]))
+    return dup[0]
+
+
+def persist_requests(nets):
+    reqs = [json.dumps({"op": "optimize", "id": "n%d" % i, "net": net,
+                        "spec_ps": 1000.0})
+            for i, net in enumerate(nets)]
+    return reqs + [json.dumps({"op": "stats", "id": "s"})]
+
+
+def scenario_restart(cli, jobs):
+    """Kill a --cache-dir server; its successor must warm from disk."""
+    nets = [gen_net(cli, seed=21), gen_net(cli, seed=22)]
+    requests = persist_requests(nets)
+    cache_dir = tempfile.mkdtemp(prefix="msn_serve_smoke_")
+    try:
+        flags = ["--cache-dir", cache_dir]
+        # First life: populate the cache, confirm the appends settled
+        # (the stats op syncs the segment), then die without shutdown.
+        first = run_server(cli, jobs, requests, flags,
+                           kill_after=len(requests))
+        s1 = stats_doc(first, "s")
+        if s1["cache"]["segment_enabled"] != 1:
+            fail("persistence not enabled under --cache-dir")
+        if s1["cache"]["segment_appends"] != len(nets):
+            fail("expected %d segment appends, got %d"
+                 % (len(nets), s1["cache"]["segment_appends"]))
+        if not os.path.exists(os.path.join(cache_dir, "cache.msnseg")):
+            fail("no segment file in --cache-dir")
+
+        # Second life: same requests must be cache hits with the exact
+        # same bytes, and the DP must never run.
+        second = run_server(
+            cli, jobs, requests +
+            [json.dumps({"op": "shutdown", "id": "x"})], flags)
+        s2 = stats_doc(second, "s")
+        if s2["cache"]["segment_replayed"] != len(nets):
+            fail("expected %d replayed records, got %d"
+                 % (len(nets), s2["cache"]["segment_replayed"]))
+        if s2["requests"]["dp_runs"] != 0:
+            fail("restarted server re-ran the DP %d time(s)"
+                 % s2["requests"]["dp_runs"])
+        if s2["cache"]["hits"] < len(nets):
+            fail("restarted server missed the warmed cache: %s"
+                 % s2["cache"])
+        for i in range(len(nets)):
+            a, b = by_id(first, "n%d" % i)[0], by_id(second, "n%d" % i)[0]
+            if a != b:
+                fail("warmed response for net %d differs from the"
+                     " original" % i)
+        print("serve_smoke: restart OK (replayed=%d, hits=%d, dp_runs=0)"
+              % (s2["cache"]["segment_replayed"], s2["cache"]["hits"]))
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def scenario_corrupt(cli, jobs):
+    """Bit-flip + truncate the segment; recovery must stay correct."""
+    nets = [gen_net(cli, seed=31), gen_net(cli, seed=32),
+            gen_net(cli, seed=33)]
+    requests = persist_requests(nets)
+    cache_dir = tempfile.mkdtemp(prefix="msn_serve_smoke_")
+    try:
+        flags = ["--cache-dir", cache_dir]
+        first = run_server(cli, jobs, requests, flags,
+                           kill_after=len(requests))
+        seg_path = os.path.join(cache_dir, "cache.msnseg")
+        with open(seg_path, "rb") as f:
+            blob = bytearray(f.read())
+        # Flip one bit a third of the way in (mid-record damage) and cut
+        # the last 7 bytes (a crash mid-append).
+        blob[len(blob) // 3] ^= 0x04
+        blob = blob[:-7]
+        with open(seg_path, "wb") as f:
+            f.write(bytes(blob))
+
+        second = run_server(
+            cli, jobs, requests +
+            [json.dumps({"op": "shutdown", "id": "x"})], flags)
+        s2 = stats_doc(second, "s")
+        damage = (s2["cache"]["segment_skipped"] +
+                  s2["cache"]["segment_truncations"])
+        if damage < 1:
+            fail("corruption went unnoticed: %s" % s2["cache"])
+        if s2["cache"]["segment_replayed"] >= len(nets):
+            fail("replayed %d records from a damaged segment of %d"
+                 % (s2["cache"]["segment_replayed"], len(nets)))
+        # Every response — warmed or recomputed — must match the
+        # original bytes exactly.
+        for i in range(len(nets)):
+            a, b = by_id(first, "n%d" % i)[0], by_id(second, "n%d" % i)[0]
+            if a != b:
+                fail("post-corruption response for net %d differs" % i)
+            if not json.loads(b)["ok"]:
+                fail("post-corruption optimize failed: %s" % b)
+        print("serve_smoke: corrupt-recovery OK (replayed=%d, skipped=%d,"
+              " truncations=%d)"
+              % (s2["cache"]["segment_replayed"],
+                 s2["cache"]["segment_skipped"],
+                 s2["cache"]["segment_truncations"]))
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: serve_smoke.py /path/to/msn_cli [--jobs N]")
+    cli = sys.argv[1]
+    jobs = "2"
+    if "--jobs" in sys.argv:
+        jobs = sys.argv[sys.argv.index("--jobs") + 1]
+    scenario_protocol(cli, jobs)
+    scenario_restart(cli, jobs)
+    scenario_corrupt(cli, jobs)
+    print("serve_smoke: OK")
 
 
 if __name__ == "__main__":

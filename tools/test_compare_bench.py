@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_bench.py over tiny fixture trajectory pairs.
+
+Covers the degraded (non-crashing) paths: a baseline metric recorded as
+zero time, a bench added since the baseline, and the ordinary
+OK/regression verdicts.  Run directly or via ctest (compare_bench_unit).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+COMPARE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "compare_bench.py")
+
+
+def trajectory(bench, runs):
+    return {"schema": "msn-bench-stats-v1", "bench": bench, "runs": runs}
+
+
+def run_pair(test, baseline, current, extra_args=()):
+    """Writes the two documents to files and runs compare_bench on them."""
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "baseline.json")
+        cur_path = os.path.join(tmp, "current.json")
+        with open(base_path, "w") as f:
+            json.dump(baseline, f)
+        with open(cur_path, "w") as f:
+            json.dump(current, f)
+        proc = subprocess.run(
+            [sys.executable, COMPARE, base_path, cur_path] +
+            list(extra_args),
+            capture_output=True, text=True)
+    test.assertNotIn("Traceback", proc.stderr)
+    return proc
+
+
+class CompareBenchTest(unittest.TestCase):
+    def test_matching_runs_within_threshold_pass(self):
+        base = trajectory("bench_line", [
+            {"labels": {"mode": "repeaters"}, "values": {"time_s": 1.0}}])
+        cur = trajectory("bench_line", [
+            {"labels": {"mode": "repeaters"}, "values": {"time_s": 1.1}}])
+        proc = run_pair(self, base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("OK", proc.stdout)
+
+    def test_regression_above_threshold_fails(self):
+        base = trajectory("bench_line", [
+            {"labels": {}, "values": {"time_s": 1.0}}])
+        cur = trajectory("bench_line", [
+            {"labels": {}, "values": {"time_s": 2.0}}])
+        proc = run_pair(self, base, cur)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_zero_time_baseline_is_skipped_not_divided(self):
+        # A metric the baseline recorded as 0 seconds must degrade to a
+        # skip note (this used to divide by zero / report x-inf), and
+        # must not mask the verdict on the healthy metric next to it.
+        base = trajectory("bench_line", [
+            {"labels": {}, "values": {"warm_s": 0.0, "time_s": 1.0}}])
+        cur = trajectory("bench_line", [
+            {"labels": {}, "values": {"warm_s": 5.0, "time_s": 1.0}}])
+        proc = run_pair(self, base, cur, ["--min-seconds", "0"])
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("skipped", proc.stdout)
+        self.assertIn("zero-time baseline", proc.stdout)
+        self.assertIn("OK", proc.stdout)
+
+    def test_bench_added_since_baseline_is_skipped(self):
+        base = trajectory("bench_line", [
+            {"labels": {}, "values": {"time_s": 1.0}}])
+        cur = {"schema": "msn-bench-stats-v1-merged", "benches": [
+            base,
+            trajectory("bench_new", [
+                {"labels": {}, "values": {"time_s": 9.9}}])]}
+        proc = run_pair(self, base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("skipped bench_new", proc.stdout)
+        self.assertIn("no baseline run", proc.stdout)
+
+    def test_nothing_comparable_is_not_a_regression(self):
+        base = trajectory("bench_a", [
+            {"labels": {}, "values": {"time_s": 1.0}}])
+        cur = trajectory("bench_b", [
+            {"labels": {}, "values": {"time_s": 1.0}}])
+        proc = run_pair(self, base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("no comparable timing metrics", proc.stdout)
+
+    def test_unreadable_input_exits_2(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = os.path.join(tmp, "bad.json")
+            with open(bad, "w") as f:
+                f.write("{not json")
+            proc = subprocess.run(
+                [sys.executable, COMPARE, bad, bad],
+                capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
