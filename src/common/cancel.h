@@ -1,0 +1,122 @@
+// Cooperative cancellation for long-running work (the MSRI dynamic
+// program above all).  A CancellationSource owns the cancel state; the
+// CancellationTokens it hands out are cheap value types that workers
+// poll at loop granularity.  Cancellation is level-triggered and
+// one-way: once a source is cancelled (explicitly or by its deadline
+// passing) every token observing it reports cancelled forever.
+//
+// Thread safety: Cancel() may race freely with Cancelled()/Check() on
+// any number of threads.  The deadline is immutable after construction
+// precisely so the polling side never reads a mutating field — the only
+// cross-thread write is the atomic flag.
+//
+// A default-constructed token observes nothing and never cancels, so
+// call sites can take a token unconditionally and pay one null check
+// when cancellation is not in play.
+#ifndef MSN_COMMON_CANCEL_H
+#define MSN_COMMON_CANCEL_H
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace msn {
+
+/// Thrown by CancellationToken::Check().  Catching this (and only this)
+/// is how callers distinguish "abandoned on request" from a real error.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+namespace internal {
+struct CancelState {
+  explicit CancelState(
+      std::chrono::steady_clock::time_point deadline_at =
+          std::chrono::steady_clock::time_point{},
+      bool has_deadline_at = false)
+      : deadline(deadline_at), has_deadline(has_deadline_at) {}
+  std::atomic<bool> flag{false};
+  const std::chrono::steady_clock::time_point deadline;
+  const bool has_deadline;
+
+  bool Expired() const {
+    return flag.load(std::memory_order_relaxed) ||
+           (has_deadline && std::chrono::steady_clock::now() >= deadline);
+  }
+};
+}  // namespace internal
+
+class CancellationToken {
+ public:
+  /// Observes nothing; Cancelled() is always false.
+  CancellationToken() = default;
+
+  /// True when this token can ever fire (it observes at least one
+  /// source).  A cheap pre-check for "is cancellation in play at all".
+  bool Valid() const { return !states_.empty(); }
+
+  /// True once any observed source was cancelled or timed out.
+  bool Cancelled() const {
+    for (const auto& s : states_) {
+      if (s->Expired()) return true;
+    }
+    return false;
+  }
+
+  /// Throws CancelledError when Cancelled().  The message is generic;
+  /// layers with more context (which deadline, whose connection) catch
+  /// and rephrase.
+  void Check() const {
+    if (Cancelled()) throw CancelledError("cancelled");
+  }
+
+  /// A token that fires when either input fires.  Used by the service
+  /// to combine a per-connection token with a per-request deadline.
+  static CancellationToken Merged(const CancellationToken& a,
+                                  const CancellationToken& b) {
+    CancellationToken t;
+    t.states_.reserve(a.states_.size() + b.states_.size());
+    t.states_.insert(t.states_.end(), a.states_.begin(), a.states_.end());
+    t.states_.insert(t.states_.end(), b.states_.begin(), b.states_.end());
+    return t;
+  }
+
+ private:
+  friend class CancellationSource;
+  std::vector<std::shared_ptr<const internal::CancelState>> states_;
+};
+
+class CancellationSource {
+ public:
+  /// A source that fires only on explicit Cancel().
+  CancellationSource() : state_(std::make_shared<internal::CancelState>()) {}
+
+  /// A source that also fires once `deadline` passes.
+  explicit CancellationSource(std::chrono::steady_clock::time_point deadline)
+      : state_(std::make_shared<internal::CancelState>(deadline, true)) {}
+
+  void Cancel() { state_->flag.store(true, std::memory_order_relaxed); }
+
+  /// True when Cancel() was called (deadline expiry does not count —
+  /// use Token().Cancelled() for the combined view).
+  bool CancelRequested() const {
+    return state_->flag.load(std::memory_order_relaxed);
+  }
+
+  CancellationToken Token() const {
+    CancellationToken t;
+    t.states_.push_back(state_);
+    return t;
+  }
+
+ private:
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_COMMON_CANCEL_H

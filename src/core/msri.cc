@@ -120,6 +120,7 @@ SolutionSet Augment(Context& ctx, NodeId v, const SolutionSet& below) {
   SolutionSet out;
   out.reserve(below.size() * widths.size());
   for (const SolutionPtr& s : below) {
+    ctx.options.cancel.Check();
     for (const auto& [detail, w] : widths) {
       const double re = base_re / w;
       const double ce = base_ce * w;
@@ -170,6 +171,9 @@ SolutionSet JoinSets(Context& ctx, NodeId v, const SolutionSet& s1set,
       std::max<std::size_t>(4096, 4 * (s1set.size() + s2set.size()));
   SolutionSet out;
   for (const SolutionPtr& s1 : s1set) {
+    // The merge is the DP's quadratic kernel, so this is the check that
+    // bounds cancellation latency on big nets (one s2 sweep at most).
+    ctx.options.cancel.Check();
     for (const SolutionPtr& s2 : s2set) {
       // Terminals across the two subtrees would pair with odd polarity;
       // no repeater above the join can fix that, so drop immediately.
@@ -241,6 +245,7 @@ SolutionSet RepeaterSolutions(Context& ctx, NodeId v, SolutionSet set) {
       ctx.PhaseTimer(&obs::StatsSink::msri_repeater));
   SolutionSet buffered;
   for (const SolutionPtr& s : set) {
+    ctx.options.cancel.Check();
     for (std::size_t ri = 0; ri < ctx.tech.repeaters.size(); ++ri) {
       const Repeater& r = ctx.tech.repeaters[ri];
       for (const RepeaterOrientation o :
@@ -369,6 +374,7 @@ SolutionSet CombineChildren(Context& ctx, NodeId v) {
 }
 
 SolutionSet Solve(Context& ctx, NodeId v) {
+  ctx.options.cancel.Check();
   const RcNode& node = ctx.tree.Node(v);
   SolutionSet set;
   if (ctx.rooted.IsLeaf(v)) {

@@ -34,6 +34,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/executor.h"
 #include "core/mfs.h"
 #include "core/solution.h"
@@ -104,6 +105,16 @@ struct MsriOptions {
   /// Debug/teaching hook: invoked with every node's finalized solution
   /// set as the bottom-up pass completes it (after MFS pruning).
   std::function<void(NodeId, const SolutionSet&)> set_observer;
+  /// Cooperative cancellation (src/common/cancel.h): the DP polls this
+  /// token at node granularity and inside the expensive per-solution
+  /// loops (JoinSets' merge above all), so an expired deadline or a
+  /// disconnected client abandons the run in bounded time.  On firing,
+  /// RunMsri throws CancelledError; any partial work is discarded but
+  /// stats recorded so far remain valid (monotonic counters, no
+  /// double counting).  The default token never fires.  Non-semantic:
+  /// excluded from service::Canonicalize, so cancellable and
+  /// non-cancellable runs share a cache fingerprint.
+  CancellationToken cancel;
 };
 
 /// One point of the cost-vs-ARD tradeoff suite, with its realization.

@@ -36,6 +36,11 @@ namespace msn::runtime {
 struct BatchJob {
   std::string name;  ///< Report key (file path or a synthetic label).
   RcTree tree;
+  /// Per-net DP options.  `options.cancel` is honored: a token that
+  /// fires mid-run abandons that net with a contained "cancelled" error
+  /// entry (like any other per-net failure) while the rest of the batch
+  /// proceeds — one shared token cancels the whole batch cooperatively.
+  /// stats/executor/set_observer must stay null (the engine owns them).
   MsriOptions options;
 };
 

@@ -98,9 +98,12 @@ class TaskGroup {
   /// layer's per-request deadlines): if the task has not *started* by
   /// `deadline`, `on_expired` runs in its place — on whichever thread
   /// would have run `fn`, still inside the group (Wait() covers it).
-  /// The deadline bounds admission, not completion: a task that starts
-  /// in time runs to the end (the DP is not preemptible), so expiry is
-  /// deterministic for a given dequeue time, never a mid-flight abort.
+  /// The deadline bounds admission only: a task that starts in time is
+  /// never aborted by this layer, so expiry is deterministic for a
+  /// given dequeue time.  Mid-flight interruption is the cooperative
+  /// cancellation layer's job (src/common/cancel.h — the service
+  /// threads the same deadline into MsriOptions::cancel, so a started
+  /// DP still abandons itself shortly after expiry).
   void Run(std::function<void()> fn,
            std::chrono::steady_clock::time_point deadline,
            std::function<void()> on_expired);

@@ -22,6 +22,11 @@ namespace msn::service {
 using FdReadFn = ssize_t (*)(int fd, void* buf, std::size_t n);
 using FdWriteFn = ssize_t (*)(int fd, const void* buf, std::size_t n);
 
+/// Accept shape the serve loop calls (listener fd in, connection fd or
+/// -1 + errno out), injectable so tests can script EMFILE storms and
+/// fatal errors without exhausting real fd tables.
+using FdAcceptFn = int (*)(int listener_fd);
+
 /// Writes all `n` bytes to `fd`, retrying EINTR and short writes.
 /// Returns false on any other error or on a zero-progress write.
 bool WriteFully(int fd, const char* data, std::size_t n,

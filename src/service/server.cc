@@ -9,10 +9,14 @@
 #include <chrono>
 #include <cstring>
 #include <istream>
+#include <list>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "core/msri.h"
@@ -44,7 +48,56 @@ std::string IdField(const JsonValue& request) {
   return "";
 }
 
+/// TCP writes go through send(MSG_NOSIGNAL) so a response landing on a
+/// connection the client already closed yields EPIPE (a failed write the
+/// serve loop turns into cancellation) instead of a process-killing
+/// SIGPIPE.
+ssize_t SendNoSignal(int fd, const void* buf, std::size_t n) {
+  return ::send(fd, buf, n, MSG_NOSIGNAL);
+}
+
 }  // namespace
+
+bool TransientAcceptError(int err) {
+  if (err == EWOULDBLOCK) return true;
+  switch (err) {
+    case EAGAIN:         // listener briefly out of completed connections
+    case EMFILE:         // process fd table full
+    case ENFILE:         // system fd table full
+    case ECONNABORTED:   // peer gave up while queued — not our failure
+    case ENOBUFS:
+    case ENOMEM:
+    case EPROTO:         // protocol hiccup on the aborted connection
+    case EPERM:          // firewall rejected the peer
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::chrono::milliseconds AcceptBackoffDelay(
+    std::size_t consecutive_failures) {
+  if (consecutive_failures == 0) return std::chrono::milliseconds(0);
+  const std::size_t shift = std::min<std::size_t>(consecutive_failures - 1, 6);
+  return std::chrono::milliseconds(
+      std::min<std::int64_t>(std::int64_t{2} << shift, 100));
+}
+
+void Server::CostModel::Observe(std::size_t nodes, std::uint64_t solutions) {
+  if (nodes == 0) return;
+  const double ratio = static_cast<double>(solutions) /
+                       (static_cast<double>(nodes) * static_cast<double>(nodes));
+  const std::lock_guard<std::mutex> lock(mu_);
+  ratio_sum_ += ratio;
+  ++samples_;
+}
+
+double Server::CostModel::Estimate(std::size_t nodes) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (samples_ == 0) return 0.0;
+  return (ratio_sum_ / static_cast<double>(samples_)) *
+         (static_cast<double>(nodes) * static_cast<double>(nodes));
+}
 
 Server::Server(const Technology& tech, const ServerOptions& options)
     : tech_(tech),
@@ -71,8 +124,34 @@ std::string Server::ErrorResponse(const std::string& id_field,
   return out;
 }
 
+std::string Server::OverloadedResponse(const std::string& id_field,
+                                       const std::string& message,
+                                       bool cost_shed) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    if (cost_shed) {
+      ++counters_.shed_cost;
+    } else {
+      ++counters_.shed_queue;
+    }
+  }
+  return "{" + id_field + "\"ok\":false,\"overloaded\":true,\"error\":\"" +
+         obs::JsonEscape(message) + "\"}";
+}
+
+std::string Server::CancelledResponse(const std::string& id_field,
+                                      const std::string& message) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.cancelled;
+  }
+  return "{" + id_field + "\"ok\":false,\"cancelled\":true,\"error\":\"" +
+         obs::JsonEscape(message) + "\"}";
+}
+
 std::string Server::HandleOptimize(const JsonValue& request,
-                                   const std::string& id_field) {
+                                   const std::string& id_field,
+                                   const RequestContext& rctx) {
   try {
     const JsonValue* net = request.Find("net");
     if (net == nullptr || !net->IsString()) {
@@ -113,16 +192,41 @@ std::string Server::HandleOptimize(const JsonValue& request,
     std::optional<MsriSummary> summary;
     for (;;) {
       summary = cache_.Lookup(canon);
-      if (summary.has_value()) break;
+      if (summary.has_value()) {
+        // A hit is free to serve but still a calibration point: warmed
+        // summaries carry the solutions_generated of the run that
+        // produced them, so a restarted server regains its cost model
+        // without re-running anything.
+        cost_model_.Observe(tree.NumNodes(), summary->solutions_generated);
+        break;
+      }
       {
         std::unique_lock<std::mutex> lock(inflight_mu_);
         if (inflight_.count(key) > 0) {
           // An identical request is mid-DP on another thread: coalesce —
           // wait for its insert, then retry the lookup.  The owner never
           // waits, so every waiter is blocked on running work and this
-          // cannot deadlock.
-          inflight_cv_.wait(lock);
+          // cannot deadlock.  The wait is bounded so a waiter notices
+          // its own cancellation (deadline, disconnect) even while the
+          // owner keeps running for someone else.
+          inflight_cv_.wait_for(lock, std::chrono::milliseconds(20));
+          lock.unlock();
+          rctx.cancel.Check();
           continue;
+        }
+        // This thread will run the DP.  Shed first: once the cost model
+        // is calibrated, a miss whose predicted work exceeds the budget
+        // is refused before it touches the pool.  Hits never shed.
+        if (options_.max_estimated_solutions > 0.0) {
+          const double est = cost_model_.Estimate(tree.NumNodes());
+          if (est > options_.max_estimated_solutions) {
+            std::ostringstream msg;
+            msg << "estimated cost " << static_cast<std::uint64_t>(est)
+                << " solutions exceeds budget "
+                << static_cast<std::uint64_t>(
+                       options_.max_estimated_solutions);
+            return OverloadedResponse(id_field, msg.str(), true);
+          }
         }
         inflight_.insert(key);
       }
@@ -132,9 +236,20 @@ std::string Server::HandleOptimize(const JsonValue& request,
         obs::RunStats run;
         obs::StatsSink sink(&run);
         opt.stats = &sink;
-        const MsriResult result = RunMsri(tree, tech_, opt);
-        summary = Summarize(result);
+        opt.cancel = rctx.cancel;
+        try {
+          const MsriResult result = RunMsri(tree, tech_, opt);
+          summary = Summarize(result);
+        } catch (const CancelledError&) {
+          // The phase timers recorded up to the abandon point are valid
+          // work done; merge them exactly once.  No dp_runs increment —
+          // that counter means "completed DP executions".
+          const std::lock_guard<std::mutex> lock(stats_mu_);
+          aggregate_.MergeFrom(run);
+          throw;
+        }
         cache_.Insert(canon, *summary);
+        cost_model_.Observe(tree.NumNodes(), summary->solutions_generated);
         const std::lock_guard<std::mutex> lock(stats_mu_);
         aggregate_.MergeFrom(run);
         ++counters_.dp_runs;
@@ -188,6 +303,13 @@ std::string Server::HandleOptimize(const JsonValue& request,
       ++counters_.ok;
     }
     return os.str();
+  } catch (const CancelledError&) {
+    const bool conn_gone =
+        rctx.conn != nullptr && rctx.conn->CancelRequested();
+    return CancelledResponse(id_field, conn_gone
+                                           ? "cancelled: connection closed"
+                                           : "cancelled: deadline exceeded"
+                                             " mid-run");
   } catch (const std::exception& e) {
     // Containment: a malformed net or throwing DP answers this request
     // only; the loop and every other in-flight request are unaffected.
@@ -209,7 +331,7 @@ std::string Server::Dispatch(const std::string& line, bool* shutdown) {
     return ErrorResponse(id_field, "request requires a string 'op'", false);
   }
   const std::string& name = op->AsString();
-  if (name == "optimize") return HandleOptimize(request, id_field);
+  if (name == "optimize") return HandleOptimize(request, id_field, {});
   if (name == "stats") {
     // Settle the write-behind segment first so segment_* counters (and
     // the on-disk state they describe) reflect every prior insert.
@@ -249,12 +371,22 @@ std::string Server::HandleLine(const std::string& line) {
 }
 
 bool Server::Serve(std::istream& in, std::ostream& out) {
+  return ServeLoop(in, out, /*conn_cancel=*/nullptr);
+}
+
+bool Server::ServeLoop(std::istream& in, std::ostream& out,
+                       CancellationSource* conn_cancel) {
   std::mutex out_mu;
-  const auto write_line = [&out, &out_mu](const std::string& line) {
+  const auto write_line = [&out, &out_mu, conn_cancel](
+                              const std::string& line) {
     const std::lock_guard<std::mutex> lock(out_mu);
     out << line << '\n';
     out.flush();
+    // A dead peer cannot receive further answers; stop computing them.
+    if (!out.good() && conn_cancel != nullptr) conn_cancel->Cancel();
   };
+  const CancellationToken conn_token =
+      conn_cancel != nullptr ? conn_cancel->Token() : CancellationToken();
 
   runtime::TaskGroup group(&pool_);
   bool shutdown = false;
@@ -295,19 +427,44 @@ bool Server::Serve(std::istream& in, std::ostream& out) {
         has_deadline = true;
         deadline_ms = d->AsNumber();
       }
-      auto run = [this, write_line, request = std::move(request),
-                  id_field] {
-        write_line(HandleOptimize(request, id_field));
-      };
+      // Backlog gate: refuse work the pool is already drowning in.
+      if (options_.max_queue_depth > 0 &&
+          queue_depth_.load(std::memory_order_relaxed) >=
+              options_.max_queue_depth) {
+        write_line(OverloadedResponse(
+            id_field, "queue depth limit reached", /*cost_shed=*/false));
+        continue;
+      }
+      queue_depth_.fetch_add(1, std::memory_order_relaxed);
+
+      RequestContext rctx;
+      rctx.conn = conn_cancel;
+      std::chrono::steady_clock::time_point deadline;
       if (has_deadline) {
-        const auto deadline =
+        deadline =
             std::chrono::steady_clock::now() +
             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                 std::chrono::duration<double, std::milli>(deadline_ms));
+        // The deadline token: its source lives only long enough to mint
+        // the token (the shared state persists; nobody Cancel()s a
+        // deadline explicitly).
+        rctx.cancel = CancellationToken::Merged(
+            conn_token, CancellationSource(deadline).Token());
+      } else {
+        rctx.cancel = conn_token;
+      }
+
+      auto run = [this, write_line, request = std::move(request), id_field,
+                  rctx] {
+        write_line(HandleOptimize(request, id_field, rctx));
+        queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+      };
+      if (has_deadline) {
         group.Run(std::move(run), deadline,
                   [this, write_line, id_field] {
                     write_line(ErrorResponse(
                         id_field, "deadline exceeded before start", true));
+                    queue_depth_.fetch_sub(1, std::memory_order_relaxed);
                   });
       } else {
         group.Run(std::move(run));
@@ -319,6 +476,12 @@ bool Server::Serve(std::istream& in, std::ostream& out) {
     group.Wait();
     write_line(Dispatch(line, &shutdown));
   }
+  // A TCP client that vanished (EOF without shutdown, or a failed
+  // write) has no use for in-flight answers: cancel them so the drain
+  // barrier below is bounded by cancellation latency, not DP runtime.
+  // The stdin path (conn_cancel == nullptr) always drains to completion
+  // — a pipeline must not lose responses.
+  if (!shutdown && conn_cancel != nullptr) conn_cancel->Cancel();
   group.Wait();
   return shutdown;
 }
@@ -337,7 +500,7 @@ int Server::ServeTcp(std::uint16_t port, std::ostream& log) {
   addr.sin_port = htons(port);
   if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
-      ::listen(listener, 4) != 0) {
+      ::listen(listener, 64) != 0) {
     log << "service: bind/listen 127.0.0.1:" << port << ": "
         << std::strerror(errno) << '\n';
     ::close(listener);
@@ -346,28 +509,127 @@ int Server::ServeTcp(std::uint16_t port, std::ostream& log) {
   sockaddr_in bound{};
   socklen_t bound_len = sizeof(bound);
   ::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  bound_port_.store(ntohs(bound.sin_port), std::memory_order_release);
   log << "service: listening on 127.0.0.1:" << ntohs(bound.sin_port)
       << '\n';
   log.flush();
-  for (;;) {
-    const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR) continue;
-      log << "service: accept: " << std::strerror(errno) << '\n';
-      ::close(listener);
-      return 1;
+
+  // One serve thread per live connection over this shared Server.  The
+  // serve thread half-closes its write side when done and flags `done`;
+  // only this (accept) thread closes connection fds — after joining —
+  // so a fd is never closed while another thread might still use it.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::list<Connection> connections;
+  std::atomic<bool> shutdown_requested{false};
+  std::atomic<std::size_t> live{0};
+
+  const auto reap_finished = [&connections] {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        ::close(it->fd);
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
     }
-    FdStreamBuf buf(conn);
-    std::istream conn_in(&buf);
-    std::ostream conn_out(&buf);
-    const bool shutdown = Serve(conn_in, conn_out);
-    conn_out.flush();
-    ::close(conn);
-    if (shutdown) {
-      ::close(listener);
-      return 0;
+  };
+
+  int rc = -1;
+  std::size_t accept_failures = 0;
+  while (rc < 0) {
+    const int conn = options_.accept_fn != nullptr
+                         ? options_.accept_fn(listener)
+                         : ::accept(listener, nullptr, nullptr);
+    if (shutdown_requested.load(std::memory_order_acquire)) {
+      // A serve thread saw the shutdown op and woke us by shutting the
+      // listener down.  In the tiny window where a connection still got
+      // through, it arrived after shutdown: close it unserved.
+      if (conn >= 0) ::close(conn);
+      rc = 0;
+      break;
+    }
+    if (conn < 0) {
+      const int err = errno;
+      if (err == EINTR) continue;
+      if (TransientAcceptError(err)) {
+        // Resource pressure (EMFILE et al.): retry with exponential
+        // backoff instead of spinning hot — finishing connections are
+        // what frees the resource, so yield to them.
+        ++accept_failures;
+        log << "service: accept: " << std::strerror(err)
+            << " (transient; backing off)\n";
+        log.flush();
+        std::this_thread::sleep_for(AcceptBackoffDelay(accept_failures));
+        reap_finished();
+        continue;
+      }
+      log << "service: accept: " << std::strerror(err) << '\n';
+      rc = 1;
+      break;
+    }
+    accept_failures = 0;
+    reap_finished();
+    if (live.load(std::memory_order_acquire) >= options_.max_connections) {
+      // At capacity: one structured refusal, then close.  The client
+      // sees `overloaded` rather than an unexplained hangup.
+      {
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        ++counters_.shed_connections;
+      }
+      const std::string refusal =
+          "{\"ok\":false,\"overloaded\":true,"
+          "\"error\":\"server at connection capacity\"}\n";
+      WriteFully(conn, refusal.data(), refusal.size(), &SendNoSignal);
+      ::close(conn);
+      continue;
+    }
+    live.fetch_add(1, std::memory_order_acq_rel);
+    connections.emplace_back();
+    Connection& slot = connections.back();
+    slot.fd = conn;
+    slot.done = std::make_shared<std::atomic<bool>>(false);
+    slot.thread = std::thread([this, conn, listener, done = slot.done,
+                               &shutdown_requested, &live] {
+      FdStreamBuf buf(conn, /*read_fn=*/nullptr, &SendNoSignal);
+      std::istream conn_in(&buf);
+      std::ostream conn_out(&buf);
+      CancellationSource conn_cancel;
+      const bool shutdown = ServeLoop(conn_in, conn_out, &conn_cancel);
+      conn_out.flush();
+      // Half-close: the client gets EOF after its last response while
+      // the fd itself stays valid until the accept thread reaps it.
+      ::shutdown(conn, SHUT_WR);
+      if (shutdown) {
+        shutdown_requested.store(true, std::memory_order_release);
+        // Wake the accept thread out of its blocking accept.
+        ::shutdown(listener, SHUT_RDWR);
+      }
+      live.fetch_sub(1, std::memory_order_acq_rel);
+      done->store(true, std::memory_order_release);
+    });
+  }
+
+  // Drain: stop feeding the still-live connections (SHUT_RD EOFs their
+  // next read; their ServeLoops cancel in-flight work, answer, and
+  // exit), then join every serve thread and close every fd.  Nothing
+  // leaks on either exit path.
+  for (Connection& c : connections) {
+    if (!c.done->load(std::memory_order_acquire)) {
+      ::shutdown(c.fd, SHUT_RD);
     }
   }
+  for (Connection& c : connections) {
+    c.thread.join();
+    ::close(c.fd);
+  }
+  connections.clear();
+  ::close(listener);
+  return rc;
 }
 
 void Server::WriteStatsJson(std::ostream& os) const {
@@ -404,6 +666,10 @@ void Server::WriteStatsJson(std::ostream& os) const {
      << "},\"requests\":{\"received\":"
      << counters.received << ",\"ok\":" << counters.ok << ",\"errors\":"
      << counters.errors << ",\"timeouts\":" << counters.timeouts
+     << ",\"shed_queue\":" << counters.shed_queue
+     << ",\"shed_cost\":" << counters.shed_cost
+     << ",\"shed_connections\":" << counters.shed_connections
+     << ",\"cancelled\":" << counters.cancelled
      << ",\"dp_runs\":" << counters.dp_runs << "},\"registry\":"
      << registry.JsonString() << '}';
 }

@@ -22,14 +22,32 @@
 //     stats op (hit counters, DP invocation counters).
 //   * Ordering: optimize requests fan out onto the pool and respond as
 //     they complete (match responses by id); stats/flush/shutdown are
-//     barriers — they drain in-flight optimizes first, so their answers
-//     are deterministic.
+//     barriers — they drain that connection's in-flight optimizes first,
+//     so their answers are deterministic.
+//   * Concurrency: ServeTcp serves up to `max_connections` connections
+//     at once, each on its own thread over this one shared Server (one
+//     pool, one cache, one stats registry).  A connection beyond the
+//     bound is answered with a single `overloaded` line and closed.  A
+//     shutdown op stops the accept loop and drains every connection:
+//     their in-flight requests are cancelled (answered `cancelled`),
+//     their streams close, and every serve thread is joined before
+//     ServeTcp returns — no leaked threads or fds.
+//   * Request lifecycle: a request line is *received*, then either
+//     *shed* (queue depth or estimated cost over budget -> `overloaded`
+//     response, nothing runs), *admitted* to the pool, and finally
+//     either *served* (ok / error / pre-start timeout) or *cancelled*
+//     mid-flight (deadline expiry or its connection going away).
 //   * Deadlines: a request whose deadline passes before it starts is
-//     answered {"ok":false,"timeout":true,...} without running; other
-//     in-flight requests are untouched (see TaskGroup's deadline Run).
+//     answered {"ok":false,"timeout":true,...} without running.  Once
+//     started, the DP polls a cancellation token: a deadline expiring
+//     mid-run (or the client disconnecting) abandons the run in bounded
+//     time with {"ok":false,"cancelled":true,...}.  Other in-flight
+//     requests are untouched either way.
 #ifndef MSN_SERVICE_SERVER_H
 #define MSN_SERVICE_SERVER_H
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -39,13 +57,26 @@
 #include <string>
 #include <utility>
 
+#include "common/cancel.h"
 #include "obs/stats.h"
 #include "runtime/thread_pool.h"
 #include "service/cache.h"
+#include "service/fdbuf.h"
 #include "service/persist.h"
 #include "tech/tech.h"
 
 namespace msn::service {
+
+/// Classifies an `accept(2)` errno: transient failures (EMFILE and
+/// friends — the process or system ran out of a resource that pressure
+/// relief will return) deserve a backoff-and-retry; anything else is a
+/// programming or socket-layer error the loop must surface.
+bool TransientAcceptError(int err);
+
+/// Exponential accept backoff: 2ms doubling per consecutive failure,
+/// capped at 100ms, so a stuck EMFILE condition costs retries per
+/// second, not a spinning core.  Zero failures -> zero delay.
+std::chrono::milliseconds AcceptBackoffDelay(std::size_t consecutive_failures);
 
 struct ServerOptions {
   /// Pool threads serving optimize requests (>= 1).
@@ -57,6 +88,22 @@ struct ServerOptions {
   /// Applied to optimize requests that carry no deadline_ms of their
   /// own; <= 0 means no deadline.
   double default_deadline_ms = 0.0;
+  /// Concurrent TCP connections served at once; a connection arriving
+  /// beyond the bound receives one `overloaded` line and is closed.
+  std::size_t max_connections = 32;
+  /// Load shedding by backlog: optimize requests received while this
+  /// many are already admitted-but-unfinished are answered `overloaded`
+  /// without running.  0 disables the gate.
+  std::size_t max_queue_depth = 1024;
+  /// Load shedding by predicted cost: once the cost model is calibrated
+  /// (see Server::CostModel), a cache-missing request whose estimated
+  /// `msri.solutions_generated` exceeds this is answered `overloaded`
+  /// instead of burning pool time.  Cache hits are always served.
+  /// 0 disables the gate.
+  double max_estimated_solutions = 0.0;
+  /// Injectable accept(2) for fault testing (src/service/fdbuf.h
+  /// discipline); null uses the real ::accept.
+  FdAcceptFn accept_fn = nullptr;
 };
 
 class Server {
@@ -65,21 +112,33 @@ class Server {
 
   /// Processes one request line synchronously and returns the response
   /// line (without trailing newline).  Never throws on bad input — the
-  /// response carries the error.  Deadlines do not apply on this path
-  /// (there is no queue to wait in); the serve loop enforces them.
+  /// response carries the error.  Deadlines and the queue-depth gate do
+  /// not apply on this path (there is no queue to wait in; the serve
+  /// loop enforces both), but the per-request cost gate does.  Safe to
+  /// call from many threads at once.
   std::string HandleLine(const std::string& line);
 
   /// The serve loop: reads request lines from `in` until EOF or a
   /// shutdown op, writing one response line per request to `out`
   /// (completion order; match by id).  Returns true when stopped by
-  /// shutdown, false on EOF.
+  /// shutdown, false on EOF.  EOF drains in-flight requests to
+  /// completion (stdin pipelines must not lose answers); the TCP path
+  /// layers disconnect-cancellation on top via ServeTcp.
   bool Serve(std::istream& in, std::ostream& out);
 
-  /// TCP front: accepts loopback connections on `port` (0 lets the
-  /// kernel pick; the chosen port is logged to `log`), servicing one
-  /// connection at a time with Serve.  Returns 0 after a shutdown op,
-  /// 1 on a socket-layer failure.
+  /// The TCP front: accepts loopback connections on `port` (0 lets the
+  /// kernel pick; the choice is logged to `log` and readable via
+  /// BoundPort), serving up to `max_connections` concurrently, one
+  /// thread per connection over this shared Server.  Transient accept
+  /// failures back off exponentially (AcceptBackoffDelay); fatal ones
+  /// return 1.  Returns 0 after a shutdown op drains every connection.
   int ServeTcp(std::uint16_t port, std::ostream& log);
+
+  /// The listening port once ServeTcp has bound it (0 before that).
+  /// Readable from other threads — tests use it instead of log parsing.
+  std::uint16_t BoundPort() const {
+    return bound_port_.load(std::memory_order_acquire);
+  }
 
   /// The msn-service-stats-v1 document: service counters, cache
   /// snapshot, and the merged per-request DP registry.
@@ -94,14 +153,54 @@ class Server {
     std::uint64_t ok = 0;
     std::uint64_t errors = 0;
     std::uint64_t timeouts = 0;
+    std::uint64_t shed_queue = 0;        ///< Overloaded: backlog bound.
+    std::uint64_t shed_cost = 0;         ///< Overloaded: cost estimate.
+    std::uint64_t shed_connections = 0;  ///< Connections turned away.
+    std::uint64_t cancelled = 0;         ///< Abandoned mid-flight.
     std::uint64_t dp_runs = 0;
+  };
+
+  /// Predicts a request's DP cost from its node count before running
+  /// it.  Li & Shi's O(bn^2) bound (PAPERS.md) makes solutions/node^2 a
+  /// stable per-workload ratio; the model keeps a running mean of that
+  /// ratio over every outcome it sees — fresh DP runs and cache hits
+  /// alike, so a warm restart (persisted summaries carry their
+  /// solutions_generated) recalibrates without re-running anything.
+  /// Uncalibrated (no samples) it estimates 0, i.e. sheds nothing.
+  class CostModel {
+   public:
+    void Observe(std::size_t nodes, std::uint64_t solutions);
+    double Estimate(std::size_t nodes) const;
+
+   private:
+    mutable std::mutex mu_;
+    double ratio_sum_ = 0.0;
+    std::uint64_t samples_ = 0;
+  };
+
+  /// Cancellation scope of one optimize request: the merged token the
+  /// DP polls, plus the connection source for post-hoc wording (was it
+  /// the deadline or the peer going away?).
+  struct RequestContext {
+    CancellationToken cancel;
+    const CancellationSource* conn = nullptr;
   };
 
   std::string Dispatch(const std::string& line, bool* shutdown);
   std::string HandleOptimize(const class JsonValue& request,
-                             const std::string& id_field);
+                             const std::string& id_field,
+                             const RequestContext& rctx);
   std::string ErrorResponse(const std::string& id_field,
                             const std::string& message, bool timeout);
+  std::string OverloadedResponse(const std::string& id_field,
+                                 const std::string& message, bool cost_shed);
+  std::string CancelledResponse(const std::string& id_field,
+                                const std::string& message);
+  /// Serve with an optional connection cancel scope: when `conn_cancel`
+  /// is set (the TCP path), client EOF or a write failure cancels that
+  /// connection's in-flight requests before the drain barrier.
+  bool ServeLoop(std::istream& in, std::ostream& out,
+                 CancellationSource* conn_cancel);
 
   const Technology tech_;
   const ServerOptions options_;
@@ -112,9 +211,18 @@ class Server {
   obs::RunStats aggregate_;  ///< Merged per-request DP registries.
   RequestCounters counters_;
 
+  CostModel cost_model_;
+  std::atomic<std::uint16_t> bound_port_{0};
+  /// Admitted-but-unfinished optimize requests across all connections
+  /// (the load-shedding backlog gauge).
+  std::atomic<std::size_t> queue_depth_{0};
+
   /// In-flight miss coalescing: identical concurrent requests wait for
   /// the first one's insert instead of running the DP in parallel, so
-  /// "submit the same net twice" runs the DP exactly once at any --jobs.
+  /// "submit the same net twice" runs the DP exactly once at any --jobs
+  /// — including across connections.  Waiters poll their own cancel
+  /// token; an owner whose run is cancelled wakes them to elect a new
+  /// owner.
   std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
   std::set<std::pair<std::uint64_t, std::uint64_t>> inflight_;

@@ -379,6 +379,28 @@ TEST(Batch, RejectsJobsCarryingObservabilityHooks) {
                CheckError);
 }
 
+TEST(Batch, CancelledNetsAreContainedErrorEntries) {
+  // A token that fired before the batch starts cancels every net that
+  // carries it — each as a per-net "cancelled" error entry, exactly like
+  // any other contained failure — while untokened nets still optimize.
+  CancellationSource source;
+  source.Cancel();
+  std::vector<BatchJob> jobs = MakeJobs(3);
+  jobs[0].options.cancel = source.Token();
+  jobs[2].options.cancel = source.Token();
+  BatchOptions options;
+  options.jobs = 2;
+  const BatchResult batch =
+      OptimizeBatch(std::move(jobs), SmallTech(), options);
+  ASSERT_EQ(batch.nets.size(), 3u);
+  ASSERT_EQ(batch.errors.size(), 2u);
+  EXPECT_FALSE(batch.nets[0].ok);
+  EXPECT_NE(batch.nets[0].error.find("cancelled"), std::string::npos);
+  EXPECT_TRUE(batch.nets[1].ok);
+  EXPECT_GE(batch.nets[1].result.Pareto().size(), 1u);
+  EXPECT_FALSE(batch.nets[2].ok);
+}
+
 // ---------------------------------------------------------------------
 // Intra-net parallelism.
 

@@ -181,6 +181,10 @@ TEST(Canonical, IgnoresNonSemanticOptions) {
   MsriOptions hooked;
   hooked.stats = &sink;
   hooked.parallel_min_nodes = 7;
+  // A cancellation token is an execution concern, not a problem input:
+  // cancellable and plain runs must share a cache fingerprint.
+  CancellationSource source;
+  hooked.cancel = source.Token();
   EXPECT_TRUE(Canonicalize(tree, tech, plain).fingerprint ==
               Canonicalize(tree, tech, hooked).fingerprint);
 }
@@ -614,6 +618,49 @@ TEST(Server, ExpiredDeadlineTimesOutWithoutDisturbingOthers) {
   }
   EXPECT_TRUE(saw_live);
   EXPECT_TRUE(saw_dead);
+}
+
+TEST(Server, CoalescesConcurrentDuplicatesIntoOneDpRun) {
+  // The coalescing property under real concurrency: N threads (standing
+  // in for N connections — HandleLine is the same shared entry the
+  // per-connection serve threads use) submit the identical request at
+  // once.  Exactly one DP may run; every caller must get byte-identical
+  // bytes, whether it was the owner, a coalesced waiter, or a late
+  // cache hit.
+  const Technology tech = SmallTech();
+  ServerOptions options;
+  options.jobs = 4;
+  Server server(tech, options);
+  const std::string line = OptimizeLine("c", NetText(ExperimentNet(40, 6)));
+
+  constexpr std::size_t kClients = 8;
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back(
+        [&server, &responses, &line, i] {
+          responses[i] = server.HandleLine(line);
+        });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_TRUE(JsonValue::Parse(responses[0]).Find("ok")->AsBool())
+      << responses[0];
+  for (std::size_t i = 1; i < kClients; ++i) {
+    EXPECT_EQ(responses[0], responses[i]) << "client " << i;
+  }
+  std::ostringstream stats_os;
+  server.WriteStatsJson(stats_os);
+  const JsonValue stats = JsonValue::Parse(stats_os.str());
+  EXPECT_DOUBLE_EQ(stats.Find("requests")->Find("dp_runs")->AsNumber(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(stats.Find("registry")
+                       ->Find("timers")
+                       ->Find("msri.total")
+                       ->Find("calls")
+                       ->AsNumber(),
+                   1.0);
 }
 
 TEST(Server, FlushForcesRecomputeWithIdenticalBytes) {

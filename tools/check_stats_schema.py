@@ -29,7 +29,9 @@ REQUIRED_SERVICE_CACHE = (
     "segment_header_resets", "segment_compactions",
 )
 REQUIRED_SERVICE_REQUESTS = (
-    "received", "ok", "errors", "timeouts", "dp_runs",
+    "received", "ok", "errors", "timeouts",
+    "shed_queue", "shed_cost", "shed_connections", "cancelled",
+    "dp_runs",
 )
 
 # Batch aggregate instruments the runtime engine always records.
@@ -195,6 +197,20 @@ def _check_service(doc, path):
             if name.startswith("segment_") and cache[name] != 0:
                 raise SchemaError(f"{path}: cache.{name} nonzero while"
                                   " persistence is disabled")
+    # Request lifecycle accounting (docs/SERVICE.md): every received
+    # request resolves at most one way.  shed_connections is excluded —
+    # a refused connection never contributes a received request line.
+    req = doc["requests"]
+    resolved = (req["ok"] + req["errors"] + req["timeouts"] +
+                req["shed_queue"] + req["shed_cost"] + req["cancelled"])
+    if resolved > req["received"]:
+        raise SchemaError(
+            f"{path}: request accounting inconsistent ({resolved}"
+            f" resolved > {req['received']} received)")
+    if req["dp_runs"] > req["received"]:
+        raise SchemaError(
+            f"{path}: dp_runs {req['dp_runs']} exceeds received"
+            f" {req['received']}")
     _check_run(doc.get("registry"), f"{path} registry")
     return (f"{path}: ok ({SERVICE_SCHEMA},"
             f" {doc['requests']['received']} requests)")

@@ -22,12 +22,15 @@
 //       ASCII sketch of the net (with repeater markers if given).
 //   msn_cli serve [--jobs N] [--cache-entries K] [--cache-bytes B]
 //           [--cache-shards S] [--cache-dir DIR] [--deadline-ms D]
-//           [--port P]
+//           [--port P] [--max-connections C] [--max-queue Q] [--max-cost E]
 //       Long-running optimization service: line-delimited JSON requests on
-//       stdin (or a loopback TCP port with --port), responses on stdout,
+//       stdin (or a loopback TCP port with --port, serving up to
+//       --max-connections clients concurrently), responses on stdout,
 //       answers cached by canonical net fingerprint (docs/SERVICE.md).
 //       --cache-dir persists the cache to DIR/cache.msnseg and warms it
-//       back on restart (crash-safe; docs/SERVICE.md).
+//       back on restart (crash-safe; docs/SERVICE.md).  --max-queue and
+//       --max-cost shed excess load with structured `overloaded`
+//       responses; expired deadlines cancel in-flight DP runs.
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
@@ -83,7 +86,8 @@ struct UsageError : std::runtime_error {
       "  msn_cli render NET.msn [SOLUTION.msn]\n"
       "  msn_cli serve [--jobs N] [--cache-entries K] [--cache-bytes B]"
       " [--cache-shards S] [--cache-dir DIR] [--deadline-ms D]"
-      " [--port P]\n";
+      " [--port P] [--max-connections C] [--max-queue Q]"
+      " [--max-cost E]\n";
   std::exit(2);
 }
 
@@ -402,7 +406,8 @@ int CmdServe(int argc, char** argv) {
       ParseFlags(argc, argv, 2, &pos,
                  {"--jobs", "--cache-entries", "--cache-bytes",
                   "--cache-shards", "--cache-dir", "--deadline-ms",
-                  "--port"});
+                  "--port", "--max-connections", "--max-queue",
+                  "--max-cost"});
   if (!pos.empty()) {
     throw UsageError("serve takes no positional arguments");
   }
@@ -436,6 +441,21 @@ int CmdServe(int argc, char** argv) {
     const double d = NumericFlag(flags, "--deadline-ms");
     if (d < 0) throw CliError("--deadline-ms must be non-negative");
     opt.default_deadline_ms = d;
+  }
+  if (flags.count("--max-connections")) {
+    const double n = NumericFlag(flags, "--max-connections");
+    if (n < 1) throw CliError("--max-connections must be at least 1");
+    opt.max_connections = static_cast<std::size_t>(n);
+  }
+  if (flags.count("--max-queue")) {
+    const double n = NumericFlag(flags, "--max-queue");
+    if (n < 0) throw CliError("--max-queue must be non-negative");
+    opt.max_queue_depth = static_cast<std::size_t>(n);
+  }
+  if (flags.count("--max-cost")) {
+    const double n = NumericFlag(flags, "--max-cost");
+    if (n < 0) throw CliError("--max-cost must be non-negative");
+    opt.max_estimated_solutions = n;
   }
   const Technology tech = DefaultTechnology();
   service::Server server(tech, opt);

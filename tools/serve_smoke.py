@@ -31,6 +31,7 @@ import tempfile
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import check_stats_schema  # noqa: E402  (sibling module)
+import serve_stress  # noqa: E402  (sibling module: TCP client/server)
 
 
 def fail(msg):
@@ -277,6 +278,85 @@ def scenario_corrupt(cli, jobs):
         shutil.rmtree(cache_dir, ignore_errors=True)
 
 
+def scenario_concurrent(cli, jobs):
+    """TCP front under mixed parallel clients (docs/SERVICE.md
+    "Concurrency & request lifecycle"): N well-behaved clients submit
+    the same net at once (byte-identical answers, one DP run), a
+    slow-loris trickles its request without stalling anyone, and a
+    mid-response disconnector vanishes after submitting — the server
+    keeps serving and still shuts down cleanly with exit code 0.
+    """
+    import threading
+
+    net = gen_net(cli, seed=51)
+    own_nets = [gen_net(cli, seed=60 + c) for c in range(4)]
+    server = serve_stress.TcpServer(cli, jobs)
+    try:
+        payloads = [None] * len(own_nets)
+
+        def normal(c):
+            def run():
+                with serve_stress.Client(server.port) as conn:
+                    conn.send({"op": "optimize", "id": "shared",
+                               "net": net})
+                    conn.send({"op": "optimize", "id": "own",
+                               "net": own_nets[c]})
+                    for _ in range(2):
+                        resp = conn.recv()
+                        if not resp.get("ok"):
+                            fail("concurrent optimize failed: %r" % resp)
+                        if resp["id"] == "shared":
+                            payloads[c] = json.dumps(resp, sort_keys=True)
+            return run
+
+        def loris():
+            with serve_stress.Client(server.port) as conn:
+                conn.send_slowly({"op": "optimize", "id": "loris",
+                                  "net": net})
+                if not conn.recv().get("ok"):
+                    fail("slow-loris request failed")
+
+        def disconnector():
+            conn = serve_stress.Client(server.port)
+            conn.send({"op": "optimize", "id": "ghost", "net": net})
+            conn.close()  # never reads its response
+
+        threads = [threading.Thread(target=f) for f in
+                   [normal(c) for c in range(len(own_nets))] +
+                   [loris, disconnector]]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if any(p is None for p in payloads):
+            fail("a concurrent client is missing its shared response")
+        if len(set(payloads)) != 1:
+            fail("shared net answered %d distinct payloads across"
+                 " connections" % len(set(payloads)))
+
+        with serve_stress.Client(server.port) as conn:
+            conn.send({"op": "stats", "id": "s"})
+            doc = conn.recv()
+        try:
+            check_stats_schema._check_service(doc, "serve_smoke tcp")
+        except check_stats_schema.SchemaError as e:
+            fail("tcp stats schema violation: %s" % e)
+        if doc["requests"]["dp_runs"] > 1 + len(own_nets):
+            fail("coalescing failed under concurrency: %d DP runs for"
+                 " %d distinct nets"
+                 % (doc["requests"]["dp_runs"], 1 + len(own_nets)))
+
+        code = server.shutdown()
+        if code != 0:
+            fail("tcp server exited %d after shutdown" % code)
+        print("serve_smoke: concurrent OK (%d clients, dp_runs=%d)"
+              % (len(own_nets) + 2, doc["requests"]["dp_runs"]))
+    finally:
+        if server.proc.poll() is None:
+            server.kill()
+
+
 def main():
     if len(sys.argv) < 2:
         fail("usage: serve_smoke.py /path/to/msn_cli [--jobs N]")
@@ -287,6 +367,7 @@ def main():
     scenario_protocol(cli, jobs)
     scenario_restart(cli, jobs)
     scenario_corrupt(cli, jobs)
+    scenario_concurrent(cli, jobs)
     print("serve_smoke: OK")
 
 
