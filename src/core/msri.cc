@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/numeric.h"
 #include "core/pareto.h"
+#include "obs/trace.h"
 #include "rctree/rooted.h"
 
 namespace msn {
@@ -19,6 +20,10 @@ struct Context {
   MsriStats* stats;
   /// Observability sink; null disables all recording (see MsriOptions).
   obs::StatsSink* sink;
+  /// Request-scoped trace; null disables span recording (see
+  /// MsriOptions::trace).  Thread-confined like the sink: worker
+  /// sub-contexts carry null.
+  obs::Trace* trace = nullptr;
   /// Intra-net fan-out executor; null keeps the traversal serial (see
   /// MsriOptions::executor).  Worker sub-contexts carry the executor on
   /// so deep branches keep fanning out — TaskGroup's helping Wait makes
@@ -58,6 +63,7 @@ struct Context {
 /// Fig. 6: one solution per driver option of the terminal at leaf `v`.
 SolutionSet LeafSolutions(Context& ctx, NodeId v) {
   const obs::ScopedTimer timer(ctx.PhaseTimer(&obs::StatsSink::msri_leaf));
+  const obs::ScopedSpan span(ctx.trace, "msri.leaf");
   const std::size_t t = ctx.tree.Node(v).terminal_index;
   const TerminalParams& params = ctx.tree.Terminal(t);
 
@@ -104,6 +110,7 @@ SolutionSet LeafSolutions(Context& ctx, NodeId v) {
 SolutionSet Augment(Context& ctx, NodeId v, const SolutionSet& below) {
   const obs::ScopedTimer timer(
       ctx.PhaseTimer(&obs::StatsSink::msri_augment));
+  const obs::ScopedSpan span(ctx.trace, "msri.augment");
   const double base_re = ctx.rooted.ParentRes(v);
   const double base_ce = ctx.rooted.ParentCap(v);
   const double len = ctx.rooted.ParentLengthUm(v);
@@ -167,6 +174,7 @@ SolutionSet Augment(Context& ctx, NodeId v, const SolutionSet& below) {
 SolutionSet JoinSets(Context& ctx, NodeId v, const SolutionSet& s1set,
                      const SolutionSet& s2set) {
   const obs::ScopedTimer timer(ctx.PhaseTimer(&obs::StatsSink::msri_join));
+  const obs::ScopedSpan span(ctx.trace, "msri.join");
   std::size_t prune_at =
       std::max<std::size_t>(4096, 4 * (s1set.size() + s2set.size()));
   SolutionSet out;
@@ -243,6 +251,7 @@ SolutionSet RepeaterSolutions(Context& ctx, NodeId v, SolutionSet set) {
   if (!ctx.options.insert_repeaters) return set;
   const obs::ScopedTimer timer(
       ctx.PhaseTimer(&obs::StatsSink::msri_repeater));
+  const obs::ScopedSpan span(ctx.trace, "msri.repeater");
   SolutionSet buffered;
   for (const SolutionPtr& s : set) {
     ctx.options.cancel.Check();
@@ -343,7 +352,8 @@ SolutionSet CombineChildren(Context& ctx, NodeId v) {
       tasks.push_back([&ctx, &sets, &local, &children, i] {
         Context sub{ctx.tree,    ctx.rooted,   ctx.tech,
                     ctx.options, &local[i],    /*sink=*/nullptr,
-                    ctx.executor, ctx.subtree_nodes, ctx.x_max};
+                    /*trace=*/nullptr, ctx.executor, ctx.subtree_nodes,
+                    ctx.x_max};
         sets[i] = ChildSolutions(sub, children[i]);
       });
     }
@@ -406,6 +416,7 @@ struct RootCandidate {
 std::vector<RootCandidate> RootSolutions(Context& ctx, NodeId root,
                                          const SolutionSet& below) {
   const obs::ScopedTimer timer(ctx.PhaseTimer(&obs::StatsSink::msri_root));
+  const obs::ScopedSpan span(ctx.trace, "msri.root");
   const RcNode& node = ctx.tree.Node(root);
   MSN_CHECK_MSG(node.kind == NodeKind::kTerminal,
                 "MSRI must be rooted at a terminal (paper Section IV)");
@@ -636,6 +647,7 @@ MsriResult RunMsri(const RcTree& tree, const Technology& tech,
   MsriResult result;
   Context ctx{tree,     rooted,   tech,
               options,  &result.stats_, options.stats,
+              options.trace,
               executor, executor != nullptr ? &subtree_nodes : nullptr,
               x_max};
 
@@ -645,6 +657,7 @@ MsriResult RunMsri(const RcTree& tree, const Technology& tech,
     const obs::PwlStatsScope pwl_scope(ctx.sink);
     const obs::ScopedTimer total(
         ctx.PhaseTimer(&obs::StatsSink::msri_total));
+    const obs::ScopedSpan total_span(ctx.trace, "msri.total");
     const SolutionSet below = CombineChildren(ctx, root);
     const std::vector<RootCandidate> pareto = ParetoByCostDelay(
         RootSolutions(ctx, root, below),

@@ -39,6 +39,7 @@
 #include "core/mfs.h"
 #include "core/solution.h"
 #include "obs/stats.h"
+#include "obs/trace.h"
 #include "rctree/assignment.h"
 #include "rctree/rctree.h"
 #include "tech/tech.h"
@@ -85,6 +86,14 @@ struct MsriOptions {
   /// set sizes, and PWL breakpoint growth into the sink's registry.
   /// Null (the default) disables instrumentation at zero cost.
   obs::StatsSink* stats = nullptr;
+  /// Request-scoped tracing (src/obs/trace.h): when non-null, the DP
+  /// opens one span per phase invocation next to the phase timers, so a
+  /// per-request trace attributes DP time to LeafSolutions / Augment /
+  /// JoinSets / RepeaterSolutions / RootSolutions.  Thread-confined like
+  /// `stats`: parallel worker tasks trace nothing.  Null (the default)
+  /// costs one pointer compare per phase.  Non-semantic: excluded from
+  /// service::Canonicalize like `cancel`.
+  obs::Trace* trace = nullptr;
   /// Intra-net parallelism (docs/RUNTIME.md): when non-null, independent
   /// sibling subtrees at branch nodes are solved as separate executor
   /// tasks before the sequential JoinSets fold — the fan-out the paper's

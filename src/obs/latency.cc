@@ -1,0 +1,105 @@
+#include "obs/latency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace msn::obs {
+
+std::size_t LatencyHistogram::BucketIndex(double v) {
+  std::size_t bucket = 0;
+  while (bucket + 1 < kNumBuckets &&
+         v > static_cast<double>(std::uint64_t{1} << bucket)) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+void LatencyHistogram::Record(double us, Clock::time_point now) {
+  cumulative_.Record(us);
+  const std::int64_t slice_no = SliceNumber(now);
+  Slice& slice = slices_[static_cast<std::size_t>(slice_no) % kNumSlices];
+  if (slice.slice_no != slice_no) {
+    slice.slice_no = slice_no;
+    slice.count = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) slice.buckets[i] = 0;
+  }
+  ++slice.count;
+  ++slice.buckets[BucketIndex(us)];
+}
+
+double LatencyHistogram::QuantileFromBuckets(const std::uint64_t* buckets,
+                                             double q) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) total += buckets[i];
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return BucketBound(i);
+  }
+  return BucketBound(kNumBuckets - 1);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap(
+    Clock::time_point now) const {
+  Snapshot snap;
+  snap.count = cumulative_.Count();
+  snap.mean_us = cumulative_.Mean();
+
+  // Merge the slices still inside the window ending at `now`.
+  const std::int64_t current = SliceNumber(now);
+  std::uint64_t window[kNumBuckets] = {};
+  for (const Slice& slice : slices_) {
+    if (slice.slice_no < 0 || slice.slice_no > current ||
+        slice.slice_no <= current - static_cast<std::int64_t>(kNumSlices)) {
+      continue;
+    }
+    snap.window_count += slice.count;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      window[i] += slice.buckets[i];
+    }
+  }
+
+  if (snap.window_count > 0) {
+    snap.p50_us = QuantileFromBuckets(window, 0.50);
+    snap.p95_us = QuantileFromBuckets(window, 0.95);
+    snap.p99_us = QuantileFromBuckets(window, 0.99);
+  } else if (snap.count > 0) {
+    std::uint64_t all[kNumBuckets];
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      all[i] = cumulative_.BucketCount(i);
+    }
+    snap.p50_us = QuantileFromBuckets(all, 0.50);
+    snap.p95_us = QuantileFromBuckets(all, 0.95);
+    snap.p99_us = QuantileFromBuckets(all, 0.99);
+  }
+  return snap;
+}
+
+void LatencyHistogram::WriteJson(std::ostream& os,
+                                 Clock::time_point now) const {
+  const Snapshot snap = Snap(now);
+  os << "{\"count\":" << snap.count
+     << ",\"window_count\":" << snap.window_count
+     << ",\"mean_us\":" << JsonNumber(snap.mean_us)
+     << ",\"p50_us\":" << JsonBucketBound(snap.p50_us)
+     << ",\"p95_us\":" << JsonBucketBound(snap.p95_us)
+     << ",\"p99_us\":" << JsonBucketBound(snap.p99_us) << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (cumulative_.BucketCount(i) == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '[' << JsonBucketBound(cumulative_.BucketBound(i)) << ','
+       << cumulative_.BucketCount(i) << ']';
+  }
+  os << "]}";
+}
+
+}  // namespace msn::obs

@@ -39,6 +39,19 @@ std::string JsonNumber(double v) {
   return os.str();
 }
 
+std::string JsonBucketBound(double v) {
+  // 2^63 is the largest bucket bound and is exactly representable both as
+  // a double and as a uint64_t, so the integral fast path covers every
+  // power-of-two bound the histograms emit.
+  if (std::isfinite(v) && v >= 0.0 && v <= 9223372036854775808.0 &&
+      v == std::floor(v)) {
+    std::ostringstream os;
+    os << static_cast<std::uint64_t>(v);
+    return os.str();
+  }
+  return JsonNumber(v);
+}
+
 namespace {
 
 void JsonHistogram(std::ostream& os, const Histogram& h) {
@@ -51,7 +64,7 @@ void JsonHistogram(std::ostream& os, const Histogram& h) {
     if (h.BucketCount(i) == 0) continue;
     if (!first) os << ',';
     first = false;
-    os << '[' << JsonNumber(h.BucketBound(i)) << ',' << h.BucketCount(i)
+    os << '[' << JsonBucketBound(h.BucketBound(i)) << ',' << h.BucketCount(i)
        << ']';
   }
   os << "]}";

@@ -43,6 +43,13 @@ std::string JsonEscape(const std::string& s);
 /// null (JSON has no inf/nan).
 std::string JsonNumber(double v);
 
+/// JSON number for histogram bucket bounds: exact non-negative integral
+/// values up to 2^63 render as plain integers (so every power-of-two
+/// bound round-trips exactly and adjacent log buckets can never collide
+/// under fixed-precision printing); everything else falls back to
+/// JsonNumber.
+std::string JsonBucketBound(double v);
+
 /// Monotonically increasing event count.
 class Counter {
  public:

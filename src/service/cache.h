@@ -94,7 +94,7 @@ class SolutionCache {
   const CacheConfig& Config() const { return config_; }
 
   /// Exports the snapshot as `service.cache.*` counters and values into
-  /// a RunStats registry (the msn-service-stats-v1 building block).
+  /// a RunStats registry (the msn-service-stats-v2 building block).
   void ExportStats(obs::RunStats* registry) const;
 
  private:

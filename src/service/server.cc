@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include <fstream>
+
 #include "common/check.h"
 #include "core/msri.h"
 #include "io/netfile.h"
@@ -46,6 +48,11 @@ std::string IdField(const JsonValue& request) {
     return "\"id\":" + obs::JsonNumber(id->AsNumber()) + ",";
   }
   return "";
+}
+
+/// The `"trace_id":"<16 hex>",` fragment every response line carries.
+std::string TraceIdField(std::uint64_t trace_id) {
+  return "\"trace_id\":\"" + obs::TraceIdHex(trace_id) + "\",";
 }
 
 /// TCP writes go through send(MSG_NOSIGNAL) so a response landing on a
@@ -149,9 +156,67 @@ std::string Server::CancelledResponse(const std::string& id_field,
          obs::JsonEscape(message) + "\"}";
 }
 
+bool Server::SampleTrace() {
+  if (options_.trace_dir.empty()) return false;
+  const std::uint64_t n =
+      std::max<std::uint64_t>(1, options_.trace_sample);
+  return trace_seq_.fetch_add(1, std::memory_order_relaxed) % n == 0;
+}
+
+void Server::ExportTrace(const obs::Trace& trace) {
+  const std::string path =
+      options_.trace_dir + "/trace-" + trace.TraceIdString() + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;  // Tracing is best-effort; never fails a request.
+  trace.WriteChromeTrace(out);
+  out << '\n';
+}
+
+void Server::RecordLatency(
+    LatencyClass cls, std::chrono::steady_clock::time_point received_at) {
+  const auto now = std::chrono::steady_clock::now();
+  if (received_at == std::chrono::steady_clock::time_point{}) {
+    received_at = now;
+  }
+  const double us =
+      std::chrono::duration<double, std::micro>(now - received_at).count();
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  latency_[cls].Record(us, now);
+}
+
 std::string Server::HandleOptimize(const JsonValue& request,
-                                   const std::string& id_field,
+                                   const std::string& prefix,
                                    const RequestContext& rctx) {
+  // Sampled requests record spans into a request-owned, thread-confined
+  // buffer (the DP runs inline on this thread; parallel workers trace
+  // nothing) and export it after the response is built.  Non-sampled
+  // requests carry a null trace: every span site costs one pointer
+  // compare, per the obs zero-overhead contract.
+  std::optional<obs::Trace> trace_storage;
+  if (rctx.traced) trace_storage.emplace(rctx.trace_id);
+  obs::Trace* trace =
+      trace_storage.has_value() ? &*trace_storage : nullptr;
+  if (trace != nullptr &&
+      rctx.received_at != std::chrono::steady_clock::time_point{}) {
+    trace->RecordSpan("server.queue", rctx.received_at,
+                      std::chrono::steady_clock::now());
+  }
+  LatencyClass outcome = kLatencyError;
+  std::string response;
+  {
+    const obs::ScopedSpan span(trace, "server.request");
+    response = RunOptimize(request, prefix, rctx, trace, &outcome);
+  }
+  RecordLatency(outcome, rctx.received_at);
+  if (trace != nullptr) ExportTrace(*trace);
+  return response;
+}
+
+std::string Server::RunOptimize(const JsonValue& request,
+                                const std::string& id_field,
+                                const RequestContext& rctx,
+                                obs::Trace* trace, LatencyClass* outcome) {
+  *outcome = kLatencyError;
   try {
     const JsonValue* net = request.Find("net");
     if (net == nullptr || !net->IsString()) {
@@ -159,7 +224,10 @@ std::string Server::HandleOptimize(const JsonValue& request,
                            false);
     }
     std::istringstream net_stream(net->AsString());
-    const RcTree tree = ReadNet(net_stream);
+    const RcTree tree = [&] {
+      const obs::ScopedSpan parse_span(trace, "server.parse_net");
+      return ReadNet(net_stream);
+    }();
 
     // Mode resolution mirrors `msn_cli optimize --mode`.
     std::string mode = "repeaters";
@@ -186,12 +254,19 @@ std::string Server::HandleOptimize(const JsonValue& request,
       spec = s->AsNumber();
     }
 
-    const CanonicalRequest canon = Canonicalize(tree, tech_, opt);
+    const CanonicalRequest canon = [&] {
+      const obs::ScopedSpan canon_span(trace, "server.canonicalize");
+      return Canonicalize(tree, tech_, opt);
+    }();
     const std::pair<std::uint64_t, std::uint64_t> key{canon.fingerprint.hi,
                                                       canon.fingerprint.lo};
     std::optional<MsriSummary> summary;
+    bool ran_dp = false;
     for (;;) {
-      summary = cache_.Lookup(canon);
+      {
+        const obs::ScopedSpan lookup_span(trace, "cache.lookup");
+        summary = cache_.Lookup(canon);
+      }
       if (summary.has_value()) {
         // A hit is free to serve but still a calibration point: warmed
         // summaries carry the solutions_generated of the run that
@@ -209,7 +284,10 @@ std::string Server::HandleOptimize(const JsonValue& request,
           // cannot deadlock.  The wait is bounded so a waiter notices
           // its own cancellation (deadline, disconnect) even while the
           // owner keeps running for someone else.
-          inflight_cv_.wait_for(lock, std::chrono::milliseconds(20));
+          {
+            const obs::ScopedSpan wait_span(trace, "cache.coalesce.wait");
+            inflight_cv_.wait_for(lock, std::chrono::milliseconds(20));
+          }
           lock.unlock();
           rctx.cancel.Check();
           continue;
@@ -218,6 +296,7 @@ std::string Server::HandleOptimize(const JsonValue& request,
         // is calibrated, a miss whose predicted work exceeds the budget
         // is refused before it touches the pool.  Hits never shed.
         if (options_.max_estimated_solutions > 0.0) {
+          const obs::ScopedSpan gate_span(trace, "server.admission");
           const double est = cost_model_.Estimate(tree.NumNodes());
           if (est > options_.max_estimated_solutions) {
             std::ostringstream msg;
@@ -225,6 +304,7 @@ std::string Server::HandleOptimize(const JsonValue& request,
                 << " solutions exceeds budget "
                 << static_cast<std::uint64_t>(
                        options_.max_estimated_solutions);
+            *outcome = kLatencyShed;
             return OverloadedResponse(id_field, msg.str(), true);
           }
         }
@@ -236,8 +316,10 @@ std::string Server::HandleOptimize(const JsonValue& request,
         obs::RunStats run;
         obs::StatsSink sink(&run);
         opt.stats = &sink;
+        opt.trace = trace;
         opt.cancel = rctx.cancel;
         try {
+          const obs::ScopedSpan dp_span(trace, "dp.run");
           const MsriResult result = RunMsri(tree, tech_, opt);
           summary = Summarize(result);
         } catch (const CancelledError&) {
@@ -248,8 +330,12 @@ std::string Server::HandleOptimize(const JsonValue& request,
           aggregate_.MergeFrom(run);
           throw;
         }
-        cache_.Insert(canon, *summary);
+        {
+          const obs::ScopedSpan insert_span(trace, "cache.insert");
+          cache_.Insert(canon, *summary);
+        }
         cost_model_.Observe(tree.NumNodes(), summary->solutions_generated);
+        ran_dp = true;
         const std::lock_guard<std::mutex> lock(stats_mu_);
         aggregate_.MergeFrom(run);
         ++counters_.dp_runs;
@@ -302,10 +388,12 @@ std::string Server::HandleOptimize(const JsonValue& request,
       const std::lock_guard<std::mutex> lock(stats_mu_);
       ++counters_.ok;
     }
+    *outcome = ran_dp ? kLatencyMiss : kLatencyHit;
     return os.str();
   } catch (const CancelledError&) {
     const bool conn_gone =
         rctx.conn != nullptr && rctx.conn->CancelRequested();
+    *outcome = kLatencyCancelled;
     return CancelledResponse(id_field, conn_gone
                                            ? "cancelled: connection closed"
                                            : "cancelled: deadline exceeded"
@@ -317,21 +405,54 @@ std::string Server::HandleOptimize(const JsonValue& request,
   }
 }
 
-std::string Server::Dispatch(const std::string& line, bool* shutdown) {
+std::string Server::HandleCommand(const std::string& cmd,
+                                  const std::string& prefix) {
+  if (cmd == "stats") {
+    // Live snapshot: no in-flight drain, no segment sync — the answer
+    // reflects the server mid-flight.  The lifecycle inequality still
+    // holds at any instant (`received` increments before any resolution
+    // counter, and latency class counts lag their counters), so
+    // mid-storm snapshots are schema-valid; segment_* counters may lag
+    // the write-behind thread.
+    std::ostringstream os;
+    WriteStatsJson(os);
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++counters_.ok;
+    }
+    return "{" + prefix + os.str().substr(1);
+  }
+  return ErrorResponse(prefix, "unknown cmd '" + cmd + "'", false);
+}
+
+std::string Server::Dispatch(const std::string& line, bool* shutdown,
+                             std::uint64_t trace_id) {
+  if (trace_id == 0) trace_id = obs::NewTraceId();
+  const std::string trace_field = TraceIdField(trace_id);
   JsonValue request;
   std::string id_field;
   try {
     request = JsonValue::Parse(line);
-    id_field = IdField(request);
+    id_field = IdField(request) + trace_field;
   } catch (const std::exception& e) {
-    return ErrorResponse("", e.what(), false);
+    return ErrorResponse(trace_field, e.what(), false);
   }
   const JsonValue* op = request.Find("op");
   if (op == nullptr || !op->IsString()) {
+    if (const JsonValue* cmd = request.Find("cmd");
+        op == nullptr && cmd != nullptr && cmd->IsString()) {
+      return HandleCommand(cmd->AsString(), id_field);
+    }
     return ErrorResponse(id_field, "request requires a string 'op'", false);
   }
   const std::string& name = op->AsString();
-  if (name == "optimize") return HandleOptimize(request, id_field, {});
+  if (name == "optimize") {
+    RequestContext rctx;
+    rctx.trace_id = trace_id;
+    rctx.traced = SampleTrace();
+    rctx.received_at = std::chrono::steady_clock::now();
+    return HandleOptimize(request, id_field, rctx);
+  }
   if (name == "stats") {
     // Settle the write-behind segment first so segment_* counters (and
     // the on-disk state they describe) reflect every prior insert.
@@ -397,17 +518,27 @@ bool Server::ServeLoop(std::istream& in, std::ostream& out,
       const std::lock_guard<std::mutex> lock(stats_mu_);
       ++counters_.received;
     }
+    const auto received_at = std::chrono::steady_clock::now();
+    const std::uint64_t trace_id = obs::NewTraceId();
+    const std::string trace_field = TraceIdField(trace_id);
     JsonValue request;
     std::string id_field;
     try {
       request = JsonValue::Parse(line);
-      id_field = IdField(request);
+      id_field = IdField(request) + trace_field;
     } catch (const std::exception& e) {
-      write_line(ErrorResponse("", e.what(), false));
+      write_line(ErrorResponse(trace_field, e.what(), false));
       continue;
     }
     const JsonValue* op = request.Find("op");
     if (op == nullptr || !op->IsString()) {
+      if (const JsonValue* cmd = request.Find("cmd");
+          op == nullptr && cmd != nullptr && cmd->IsString()) {
+        // Control verbs answer inline, before the barrier below — that
+        // is the point: a live stats snapshot mid-storm.
+        write_line(HandleCommand(cmd->AsString(), id_field));
+        continue;
+      }
       write_line(
           ErrorResponse(id_field, "request requires a string 'op'", false));
       continue;
@@ -433,12 +564,16 @@ bool Server::ServeLoop(std::istream& in, std::ostream& out,
               options_.max_queue_depth) {
         write_line(OverloadedResponse(
             id_field, "queue depth limit reached", /*cost_shed=*/false));
+        RecordLatency(kLatencyShed, received_at);
         continue;
       }
       queue_depth_.fetch_add(1, std::memory_order_relaxed);
 
       RequestContext rctx;
       rctx.conn = conn_cancel;
+      rctx.trace_id = trace_id;
+      rctx.traced = SampleTrace();
+      rctx.received_at = received_at;
       std::chrono::steady_clock::time_point deadline;
       if (has_deadline) {
         deadline =
@@ -461,9 +596,10 @@ bool Server::ServeLoop(std::istream& in, std::ostream& out,
       };
       if (has_deadline) {
         group.Run(std::move(run), deadline,
-                  [this, write_line, id_field] {
+                  [this, write_line, id_field, received_at] {
                     write_line(ErrorResponse(
                         id_field, "deadline exceeded before start", true));
+                    RecordLatency(kLatencyError, received_at);
                     queue_depth_.fetch_sub(1, std::memory_order_relaxed);
                   });
       } else {
@@ -474,7 +610,7 @@ bool Server::ServeLoop(std::istream& in, std::ostream& out,
     // stats / flush / shutdown / unknown are barriers: drain in-flight
     // optimizes so their answers reflect a settled state.
     group.Wait();
-    write_line(Dispatch(line, &shutdown));
+    write_line(Dispatch(line, &shutdown, trace_id));
   }
   // A TCP client that vanished (EOF without shutdown, or a failed
   // write) has no use for in-flight answers: cancel them so the drain
@@ -643,7 +779,7 @@ void Server::WriteStatsJson(std::ostream& os) const {
   cache_.ExportStats(&registry);
   const CacheStats cache = cache_.Snapshot();
   const SegmentStats segment = cache_.Segment();
-  os << "{\"schema\":\"msn-service-stats-v1\",\"jobs\":"
+  os << "{\"schema\":\"msn-service-stats-v2\",\"jobs\":"
      << pool_.NumThreads() << ",\"cache\":{\"shards\":"
      << cache_.NumShards() << ",\"entries\":" << cache.entries
      << ",\"bytes\":" << cache.bytes << ",\"max_entries\":"
@@ -670,8 +806,22 @@ void Server::WriteStatsJson(std::ostream& os) const {
      << ",\"shed_cost\":" << counters.shed_cost
      << ",\"shed_connections\":" << counters.shed_connections
      << ",\"cancelled\":" << counters.cancelled
-     << ",\"dp_runs\":" << counters.dp_runs << "},\"registry\":"
-     << registry.JsonString() << '}';
+     << ",\"dp_runs\":" << counters.dp_runs << "},\"latency\":{";
+  {
+    // Snapshot quantiles under the same mutex the recorders use; the
+    // window is evaluated at one shared `now` so classes are mutually
+    // consistent.
+    static constexpr const char* kClassNames[kNumLatencyClasses] = {
+        "hit", "miss", "cancelled", "shed", "error"};
+    const auto now = std::chrono::steady_clock::now();
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    for (std::size_t i = 0; i < kNumLatencyClasses; ++i) {
+      if (i > 0) os << ',';
+      os << '"' << kClassNames[i] << "\":";
+      latency_[i].WriteJson(os, now);
+    }
+  }
+  os << "},\"registry\":" << registry.JsonString() << '}';
 }
 
 }  // namespace msn::service

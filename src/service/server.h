@@ -6,20 +6,33 @@
 // line.  Ops:
 //   {"op":"optimize","id":"r1","net":"<.msn text>","mode":"repeaters",
 //    "spec_ps":950,"deadline_ms":50}
-//   {"op":"stats"}     -> msn-service-stats-v1 document
+//   {"op":"stats"}     -> msn-service-stats-v2 document
 //   {"op":"flush"}     -> drops every cache entry (and, with
 //                         persistence on, durably truncates the segment)
 //   {"op":"shutdown"}  -> drains in-flight work and stops the loop
+//   {"cmd":"stats"}    -> the same stats document, live: answered
+//                         immediately, no in-flight drain barrier and no
+//                         segment sync, so a storm can be observed
+//                         mid-flight (segment_* counters may lag the
+//                         write-behind thread)
 //
 // Contracts:
 //   * Error containment: a malformed line, unknown op, bad net, or
 //     throwing DP yields a structured {"ok":false,"error":...} response;
 //     nothing kills the loop.
 //   * Determinism per request: the optimize response payload is a pure
-//     function of the request (no timing, no cache-state markers), so an
-//     identical request answered from cache is byte-identical to the
-//     first answer.  Whether it WAS cached is visible only through the
-//     stats op (hit counters, DP invocation counters).
+//     function of the request except for the `trace_id` field (a fresh
+//     request-unique id on every line; no other timing or cache-state
+//     markers), so an identical request answered from cache is
+//     byte-identical to the first answer once `trace_id` is stripped.
+//     Whether it WAS cached is visible only through the stats op (hit
+//     counters, DP invocation counters).
+//   * Observability: every response line carries a `trace_id` (16 hex
+//     chars) so client logs join server-side traces.  With tracing on
+//     (ServerOptions::trace_dir), sampled optimize requests write a
+//     Chrome trace-event JSON file (`trace-<id>.json`) of nested
+//     server -> cache -> DP-phase spans; per-outcome sliding-window
+//     latency histograms feed the stats document's `latency` object.
 //   * Ordering: optimize requests fan out onto the pool and respond as
 //     they complete (match responses by id); stats/flush/shutdown are
 //     barriers — they drain that connection's in-flight optimizes first,
@@ -58,7 +71,9 @@
 #include <utility>
 
 #include "common/cancel.h"
+#include "obs/latency.h"
 #include "obs/stats.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "service/cache.h"
 #include "service/fdbuf.h"
@@ -104,6 +119,17 @@ struct ServerOptions {
   /// Injectable accept(2) for fault testing (src/service/fdbuf.h
   /// discipline); null uses the real ::accept.
   FdAcceptFn accept_fn = nullptr;
+  /// Request-scoped tracing (docs/OBSERVABILITY.md "Tracing"): when
+  /// non-empty, sampled optimize requests record nested spans and write
+  /// one Chrome trace-event JSON file (`trace-<trace_id>.json`) into
+  /// this directory.  The directory must exist.  Empty (the default)
+  /// disables tracing — the hot path then costs one null-pointer
+  /// compare per would-be span.
+  std::string trace_dir;
+  /// Sampling knob: trace 1 in N optimize requests (1 = every request).
+  /// Keeps tracing safe under storm load; non-sampled requests still
+  /// carry a `trace_id` in their response line.
+  std::size_t trace_sample = 1;
 };
 
 class Server {
@@ -140,8 +166,9 @@ class Server {
     return bound_port_.load(std::memory_order_acquire);
   }
 
-  /// The msn-service-stats-v1 document: service counters, cache
-  /// snapshot, and the merged per-request DP registry.
+  /// The msn-service-stats-v2 document: service counters, cache
+  /// snapshot, per-outcome latency histograms, and the merged
+  /// per-request DP registry.
   void WriteStatsJson(std::ostream& os) const;
 
   const SolutionCache& Cache() const { return cache_.Memory(); }
@@ -178,18 +205,54 @@ class Server {
     std::uint64_t samples_ = 0;
   };
 
+  /// Per-outcome latency classes of the stats document's `latency`
+  /// object.  `hit` is an ok answer served without running the DP on
+  /// this thread (cache hits and coalesced waiters); `miss` paid for
+  /// its own DP run; `shed` covers both admission gates; `error`
+  /// covers errors and timeouts.
+  enum LatencyClass : std::size_t {
+    kLatencyHit = 0,
+    kLatencyMiss,
+    kLatencyCancelled,
+    kLatencyShed,
+    kLatencyError,
+    kNumLatencyClasses,
+  };
+
   /// Cancellation scope of one optimize request: the merged token the
   /// DP polls, plus the connection source for post-hoc wording (was it
-  /// the deadline or the peer going away?).
+  /// the deadline or the peer going away?), plus the request's trace
+  /// identity and receive time for tracing/latency accounting.
   struct RequestContext {
     CancellationToken cancel;
     const CancellationSource* conn = nullptr;
+    std::uint64_t trace_id = 0;
+    /// Sampled for span recording and trace-file export.
+    bool traced = false;
+    /// When the request line was read; default (epoch) means "now".
+    std::chrono::steady_clock::time_point received_at{};
   };
 
-  std::string Dispatch(const std::string& line, bool* shutdown);
+  std::string Dispatch(const std::string& line, bool* shutdown,
+                       std::uint64_t trace_id = 0);
+  /// The `{"cmd":...}` control verbs (currently just "stats").
+  std::string HandleCommand(const std::string& cmd,
+                            const std::string& prefix);
+  /// Outcome accounting + tracing wrapper around RunOptimize.
   std::string HandleOptimize(const class JsonValue& request,
-                             const std::string& id_field,
+                             const std::string& prefix,
                              const RequestContext& rctx);
+  std::string RunOptimize(const class JsonValue& request,
+                          const std::string& prefix,
+                          const RequestContext& rctx, obs::Trace* trace,
+                          LatencyClass* outcome);
+  /// True when this optimize request should record and export a trace.
+  bool SampleTrace();
+  void ExportTrace(const obs::Trace& trace);
+  /// Records one finished request into `latency_[cls]`, measured from
+  /// `received_at` (or from now when unset) to now.
+  void RecordLatency(LatencyClass cls,
+                     std::chrono::steady_clock::time_point received_at);
   std::string ErrorResponse(const std::string& id_field,
                             const std::string& message, bool timeout);
   std::string OverloadedResponse(const std::string& id_field,
@@ -210,6 +273,13 @@ class Server {
   mutable std::mutex stats_mu_;
   obs::RunStats aggregate_;  ///< Merged per-request DP registries.
   RequestCounters counters_;
+  /// Per-outcome latency histograms (guarded by stats_mu_, like the
+  /// counters whose classes they mirror; counters increment before the
+  /// latency record, so class counts never exceed their counters in
+  /// any snapshot).
+  obs::LatencyHistogram latency_[kNumLatencyClasses];
+  /// Optimize requests seen by the trace sampler (1-in-N gate).
+  std::atomic<std::uint64_t> trace_seq_{0};
 
   CostModel cost_model_;
   std::atomic<std::uint16_t> bound_port_{0};

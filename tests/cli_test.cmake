@@ -117,7 +117,7 @@ execute_process(
 if(NOT serve_rc EQUAL 0)
   message(FATAL_ERROR "serve exited ${serve_rc}: ${serve_out} ${serve_err}")
 endif()
-if(NOT serve_out MATCHES "msn-service-stats-v1")
+if(NOT serve_out MATCHES "msn-service-stats-v2")
   message(FATAL_ERROR "serve stats response malformed: ${serve_out}")
 endif()
 

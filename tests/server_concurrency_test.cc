@@ -86,6 +86,16 @@ std::string OptimizeLine(const std::string& id, const std::string& net,
 /// A net whose DP takes several seconds at full tilt — orders of
 /// magnitude past any deadline used here, so "the DP was abandoned" and
 /// "the DP ran to completion" are unmistakably different wall times.
+/// Removes the per-request `"trace_id":"<16 hex>",` fragment so response
+/// lines can be byte-compared (the id is unique per request by design).
+std::string StripTraceId(std::string line) {
+  const std::string key = "\"trace_id\":\"";
+  const std::size_t at = line.find(key);
+  if (at == std::string::npos) return line;
+  line.erase(at, key.size() + 18);
+  return line;
+}
+
 std::string OversizedNet() {
   static const std::string net = NetText(ExperimentNet(99, 44));
   return net;
@@ -578,7 +588,9 @@ TEST(ServerConcurrency, MixedParallelClientsEachGetExactlyOneResponse) {
 
     // Duplicates answered byte-identically across connections.
     for (std::size_t c = 1; c < kNormal; ++c) {
-      EXPECT_EQ(shared_responses[0], shared_responses[c]) << "client " << c;
+      EXPECT_EQ(StripTraceId(shared_responses[0]),
+                StripTraceId(shared_responses[c]))
+          << "client " << c;
     }
     EXPECT_TRUE(
         JsonValue::Parse(shared_responses[0]).Find("ok")->AsBool());
@@ -591,7 +603,7 @@ TEST(ServerConcurrency, MixedParallelClientsEachGetExactlyOneResponse) {
     std::string stats_line;
     ASSERT_TRUE(control.Recv(&stats_line));
     const JsonValue stats = JsonValue::Parse(stats_line);
-    EXPECT_EQ(stats.Find("schema")->AsString(), "msn-service-stats-v1");
+    EXPECT_EQ(stats.Find("schema")->AsString(), "msn-service-stats-v2");
     const double received = StatsNumber(stats, "requests", "received");
     const double resolved = StatsNumber(stats, "requests", "ok") +
                             StatsNumber(stats, "requests", "errors") +
@@ -670,6 +682,104 @@ TEST(ServerConcurrency, ConnectionCapacityRefusalIsStructured) {
   const JsonValue stats = ServerStats(tcp.server);
   EXPECT_DOUBLE_EQ(StatsNumber(stats, "requests", "shed_connections"),
                    1.0);
+}
+
+// ---------------------------------------------------------------------
+// Live stats under storm: the non-draining `{"cmd":"stats"}` verb must
+// return consistent snapshots while optimizes are in flight.  Runs in
+// the TSan leg — the race-free execution is half the assertion.
+
+TEST(ServerConcurrency, LiveStatsSnapshotsStayConsistentMidStorm) {
+  const Technology tech = SmallTech();
+  ServerOptions options;
+  options.jobs = 4;
+  Server server(tech, options);
+
+  constexpr std::size_t kClients = 4;
+  constexpr int kPerClient = 5;
+  std::vector<std::string> nets;
+  for (std::uint64_t n = 0; n < 3; ++n) {
+    nets.push_back(NetText(ExperimentNet(90 + n, 5)));
+  }
+
+  std::atomic<bool> storm_done{false};
+  std::atomic<int> snapshots{0};
+  std::thread poller([&server, &storm_done, &snapshots] {
+    do {
+      const std::string line =
+          server.HandleLine("{\"cmd\":\"stats\",\"id\":\"live\"}");
+      const JsonValue doc = JsonValue::Parse(line);
+      EXPECT_EQ(doc.Find("schema")->AsString(), "msn-service-stats-v2")
+          << line;
+      const double received = StatsNumber(doc, "requests", "received");
+      const double resolved = StatsNumber(doc, "requests", "ok") +
+                              StatsNumber(doc, "requests", "errors") +
+                              StatsNumber(doc, "requests", "timeouts") +
+                              StatsNumber(doc, "requests", "shed_queue") +
+                              StatsNumber(doc, "requests", "shed_cost") +
+                              StatsNumber(doc, "requests", "cancelled");
+      EXPECT_LE(resolved, received) << line;
+      const JsonValue* latency = doc.Find("latency");
+      if (latency == nullptr) {
+        ADD_FAILURE() << "live stats lost the latency object: " << line;
+        break;
+      }
+      // Latency classes record strictly after their lifecycle counter,
+      // so class counts never exceed the counter in any snapshot.
+      const double hit = latency->Find("hit")->Find("count")->AsNumber();
+      const double miss =
+          latency->Find("miss")->Find("count")->AsNumber();
+      EXPECT_LE(hit + miss, StatsNumber(doc, "requests", "ok")) << line;
+      EXPECT_LE(latency->Find("cancelled")->Find("count")->AsNumber(),
+                StatsNumber(doc, "requests", "cancelled"))
+          << line;
+      for (const char* cls :
+           {"hit", "miss", "cancelled", "shed", "error"}) {
+        const JsonValue* h = latency->Find(cls);
+        if (h == nullptr) {
+          ADD_FAILURE() << "latency class missing: " << cls;
+          continue;
+        }
+        EXPECT_LE(h->Find("window_count")->AsNumber(),
+                  h->Find("count")->AsNumber())
+            << cls;
+      }
+      snapshots.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    } while (!storm_done.load(std::memory_order_relaxed));
+  });
+
+  std::vector<std::thread> storm;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    storm.emplace_back([&server, &nets, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::string id =
+            "c" + std::to_string(c) + "-" + std::to_string(i);
+        const std::string resp = server.HandleLine(OptimizeLine(
+            id, nets[static_cast<std::size_t>(i) % nets.size()]));
+        EXPECT_TRUE(JsonValue::Parse(resp).Find("ok")->AsBool()) << resp;
+      }
+    });
+  }
+  for (std::thread& t : storm) t.join();
+  storm_done.store(true, std::memory_order_relaxed);
+  poller.join();
+  EXPECT_GE(snapshots.load(), 1);
+
+  // Settled: every optimize resolved ok and was classified exactly once
+  // as a hit (served without its own DP) or a miss (ran the DP).
+  const JsonValue final_doc =
+      JsonValue::Parse(server.HandleLine("{\"cmd\":\"stats\"}"));
+  const JsonValue* latency = final_doc.Find("latency");
+  ASSERT_NE(latency, nullptr);
+  const double hit = latency->Find("hit")->Find("count")->AsNumber();
+  const double miss = latency->Find("miss")->Find("count")->AsNumber();
+  EXPECT_EQ(hit + miss, static_cast<double>(kClients * kPerClient));
+  EXPECT_GE(miss, 1.0);
+
+  // Every response line carries a trace_id for client-side correlation.
+  const std::string one = server.HandleLine(OptimizeLine("last", nets[0]));
+  EXPECT_NE(one.find("\"trace_id\":\""), std::string::npos) << one;
 }
 
 // ---------------------------------------------------------------------

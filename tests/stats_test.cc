@@ -2,12 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <set>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "core/ard.h"
 #include "core/msri.h"
+#include "obs/latency.h"
+#include "obs/trace.h"
 #include "test_util.h"
 
 namespace msn {
@@ -180,6 +186,218 @@ TEST(RunStats, JsonNumbersAreFiniteOrNull) {
   const std::string json = stats.JsonString();
   EXPECT_EQ(json.find("nan"), std::string::npos);
   EXPECT_NE(json.find("\"bad\":null"), std::string::npos);
+}
+
+TEST(JsonBucketBound, PowerOfTwoBoundsRenderAsExactDistinctIntegers) {
+  std::set<std::string> rendered;
+  for (std::size_t i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+    const double bound = obs::LatencyHistogram::BucketBound(i);
+    const std::string s = obs::JsonBucketBound(bound);
+    // Exact decimal integer: no fraction, no scientific notation.
+    EXPECT_EQ(s.find('.'), std::string::npos) << s;
+    EXPECT_EQ(s.find('e'), std::string::npos) << s;
+    rendered.insert(s);
+  }
+  // Every bound survives the round trip distinctly — setprecision-style
+  // rendering would collapse the top buckets onto one mantissa.
+  EXPECT_EQ(rendered.size(), obs::Histogram::kNumBuckets);
+  EXPECT_EQ(obs::JsonBucketBound(std::pow(2.0, 60)),
+            "1152921504606846976");
+}
+
+TEST(JsonBucketBound, NonIntegralValuesFallBackToJsonNumber) {
+  EXPECT_EQ(obs::JsonBucketBound(1.5), obs::JsonNumber(1.5));
+  EXPECT_EQ(obs::JsonBucketBound(-2.0), obs::JsonNumber(-2.0));
+  EXPECT_EQ(obs::JsonBucketBound(std::nan("")), "null");
+}
+
+using LatencyClock = obs::LatencyHistogram::Clock;
+
+LatencyClock::time_point LatencyEpoch() {
+  return LatencyClock::time_point{} + std::chrono::seconds(1000);
+}
+
+TEST(LatencyHistogram, QuantilesAreExactAtBucketEdges) {
+  const auto t0 = LatencyEpoch();
+  obs::LatencyHistogram on_edge;
+  on_edge.Record(1024.0, t0);
+  const auto snap = on_edge.Snap(t0);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.window_count, 1u);
+  EXPECT_DOUBLE_EQ(snap.p50_us, 1024.0);
+  EXPECT_DOUBLE_EQ(snap.p99_us, 1024.0);
+
+  // Just past the edge lands in the next bucket's bound.
+  obs::LatencyHistogram past_edge;
+  past_edge.Record(1024.5, t0);
+  EXPECT_DOUBLE_EQ(past_edge.Snap(t0).p50_us, 2048.0);
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotoneInQ) {
+  const auto t0 = LatencyEpoch();
+  obs::LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(static_cast<double>(i) * static_cast<double>(i), t0);
+  }
+  const auto snap = h.Snap(t0);
+  EXPECT_GT(snap.p50_us, 0.0);
+  EXPECT_LE(snap.p50_us, snap.p95_us);
+  EXPECT_LE(snap.p95_us, snap.p99_us);
+}
+
+TEST(LatencyHistogram, MergedQuantileStaysBetweenPartQuantiles) {
+  constexpr std::size_t kN = obs::LatencyHistogram::kNumBuckets;
+  std::uint64_t low[kN] = {};
+  std::uint64_t high[kN] = {};
+  std::uint64_t merged[kN] = {};
+  low[3] = 100;    // 100 observations in (4, 8].
+  high[10] = 100;  // 100 observations in (512, 1024].
+  for (std::size_t i = 0; i < kN; ++i) merged[i] = low[i] + high[i];
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double ql = obs::LatencyHistogram::QuantileFromBuckets(low, q);
+    const double qh = obs::LatencyHistogram::QuantileFromBuckets(high, q);
+    const double qm =
+        obs::LatencyHistogram::QuantileFromBuckets(merged, q);
+    EXPECT_GE(qm, std::min(ql, qh)) << q;
+    EXPECT_LE(qm, std::max(ql, qh)) << q;
+  }
+  // The merged median sits in the low half, the tail in the high half.
+  EXPECT_DOUBLE_EQ(obs::LatencyHistogram::QuantileFromBuckets(merged, 0.5),
+                   8.0);
+  EXPECT_DOUBLE_EQ(
+      obs::LatencyHistogram::QuantileFromBuckets(merged, 0.99), 1024.0);
+}
+
+TEST(LatencyHistogram, WindowExpiresAndFallsBackToCumulative) {
+  const auto t0 = LatencyEpoch();
+  obs::LatencyHistogram h;
+  h.Record(100.0, t0);  // (64, 128] -> bound 128.
+  const auto fresh = h.Snap(t0 + std::chrono::seconds(30));
+  EXPECT_EQ(fresh.window_count, 1u);
+  EXPECT_DOUBLE_EQ(fresh.p50_us, 128.0);
+
+  // Two minutes later the window is empty, but a shutdown-time snapshot
+  // still reports the cumulative distribution.
+  const auto stale = h.Snap(t0 + std::chrono::seconds(120));
+  EXPECT_EQ(stale.window_count, 0u);
+  EXPECT_EQ(stale.count, 1u);
+  EXPECT_DOUBLE_EQ(stale.p50_us, 128.0);
+}
+
+TEST(LatencyHistogram, SliceReuseDropsStaleCountsFromTheWindow) {
+  const auto t0 = LatencyEpoch();
+  obs::LatencyHistogram h;
+  h.Record(100.0, t0);
+  // 60s later the same slice slot is reused for a new slice number; the
+  // stale counts must not leak into the new window.
+  h.Record(5000.0, t0 + std::chrono::seconds(60));
+  const auto snap = h.Snap(t0 + std::chrono::seconds(60));
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.window_count, 1u);
+  EXPECT_DOUBLE_EQ(snap.p50_us, 8192.0);  // 5000 -> (4096, 8192].
+}
+
+TEST(LatencyHistogram, WriteJsonEmitsExactIntegerBounds) {
+  const auto t0 = LatencyEpoch();
+  obs::LatencyHistogram h;
+  h.Record(std::pow(2.0, 60), t0);
+  std::ostringstream os;
+  h.WriteJson(os, t0);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"window_count\":1"), std::string::npos);
+  // Quantiles and bucket bounds are exact integers (mean_us is a plain
+  // JsonNumber and may legitimately render scientifically).
+  EXPECT_NE(json.find("\"p50_us\":1152921504606846976"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("[[1152921504606846976,1]]"), std::string::npos)
+      << json;
+}
+
+TEST(Trace, NullScopedSpanIsANoOp) {
+  // Must not crash and must not read the clock.
+  const obs::ScopedSpan span(nullptr, "noop");
+}
+
+TEST(Trace, TraceIdsAreUniqueNonZero16Hex) {
+  const std::uint64_t a = obs::NewTraceId();
+  const std::uint64_t b = obs::NewTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  const std::string hex = obs::TraceIdHex(a);
+  EXPECT_EQ(hex.size(), 16u);
+  EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+TEST(Trace, SpansNestViaParentLinks) {
+  obs::Trace trace(obs::NewTraceId());
+  {
+    const obs::ScopedSpan outer(&trace, "outer");
+    { const obs::ScopedSpan inner(&trace, "inner"); }
+  }
+  // Spans record on destruction: inner first, outer second.
+  ASSERT_EQ(trace.Spans().size(), 2u);
+  const obs::TraceSpan& inner = trace.Spans()[0];
+  const obs::TraceSpan& outer = trace.Spans()[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(inner.parent_id, outer.span_id);
+  EXPECT_LE(outer.start, inner.start);
+  EXPECT_GE(outer.end, inner.end);
+}
+
+TEST(Trace, BufferIsBoundedAndCountsDrops) {
+  obs::Trace trace(obs::NewTraceId(), /*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    const obs::ScopedSpan span(&trace, "s");
+  }
+  EXPECT_EQ(trace.Spans().size(), 2u);
+  EXPECT_EQ(trace.Dropped(), 3u);
+}
+
+TEST(Trace, ChromeTraceJsonCarriesIdentityAndCompleteEvents) {
+  obs::Trace trace(obs::NewTraceId());
+  { const obs::ScopedSpan span(&trace, "only"); }
+  const std::string json = trace.ChromeTraceString();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"only\""), std::string::npos);
+  EXPECT_NE(json.find(trace.TraceIdString()), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\":0"), std::string::npos);
+}
+
+TEST(Trace, RunMsriOpensPhaseSpansUnderTotal) {
+  const Technology tech = SmallTech();
+  const RcTree tree = SmallRandomNet(tech, 5, 6, 9000, 800.0);
+  obs::Trace trace(obs::NewTraceId());
+  MsriOptions opt;
+  opt.trace = &trace;
+  const MsriResult result = RunMsri(tree, tech, opt);
+  ASSERT_FALSE(result.Pareto().empty());
+
+  std::uint64_t total_id = 0;
+  for (const obs::TraceSpan& s : trace.Spans()) {
+    if (std::string_view(s.name) == "msri.total") total_id = s.span_id;
+  }
+  ASSERT_NE(total_id, 0u);
+  bool saw_leaf = false;
+  bool saw_root = false;
+  for (const obs::TraceSpan& s : trace.Spans()) {
+    const std::string_view name(s.name);
+    if (name == "msri.leaf") {
+      saw_leaf = true;
+      EXPECT_EQ(s.parent_id, total_id);
+    }
+    if (name == "msri.root") {
+      saw_root = true;
+      EXPECT_EQ(s.parent_id, total_id);
+    }
+  }
+  EXPECT_TRUE(saw_leaf);
+  EXPECT_TRUE(saw_root);
 }
 
 }  // namespace

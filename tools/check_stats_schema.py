@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Validates msn-run-stats-v1 / msn-bench-stats-v1 / msn-batch-stats-v1 /
-msn-service-stats-v1 JSON files.
+msn-service-stats-v2 JSON files.
 
 Usage:
     check_stats_schema.py STATS.json [STATS.json ...]
@@ -16,7 +16,7 @@ import sys
 RUN_SCHEMA = "msn-run-stats-v1"
 BENCH_SCHEMA = "msn-bench-stats-v1"
 BATCH_SCHEMA = "msn-batch-stats-v1"
-SERVICE_SCHEMA = "msn-service-stats-v1"
+SERVICE_SCHEMA = "msn-service-stats-v2"
 
 # The service stats document's fixed integer fields
 # (docs/OBSERVABILITY.md; emitted by src/service/server.cc).
@@ -33,6 +33,11 @@ REQUIRED_SERVICE_REQUESTS = (
     "shed_queue", "shed_cost", "shed_connections", "cancelled",
     "dp_runs",
 )
+# Per-outcome latency classes of the v2 `latency` object, and the fields
+# each class object must carry (docs/OBSERVABILITY.md).
+SERVICE_LATENCY_CLASSES = ("hit", "miss", "cancelled", "shed", "error")
+SERVICE_LATENCY_FIELDS = ("count", "window_count", "mean_us",
+                          "p50_us", "p95_us", "p99_us", "buckets")
 
 # Batch aggregate instruments the runtime engine always records.
 REQUIRED_BATCH_HISTOGRAMS = (
@@ -163,8 +168,74 @@ def _check_batch(doc, path):
     return f"{path}: ok ({BATCH_SCHEMA}, {len(nets)} nets)"
 
 
+def _check_latency(latency, req, path):
+    """The v2 `latency` object: per-class sliding-window histograms.
+
+    Checks structural shape, quantile monotonicity (p50 <= p95 <= p99,
+    all non-negative), window counts bounded by cumulative counts, and
+    the class counts against the request counters they mirror (classes
+    record strictly after their counter increments, so a live snapshot
+    may lag but never lead).
+    """
+    if not isinstance(latency, dict):
+        raise SchemaError(f"{path}: missing object section 'latency'")
+    if set(latency) != set(SERVICE_LATENCY_CLASSES):
+        raise SchemaError(f"{path}: latency classes must be exactly"
+                          f" {SERVICE_LATENCY_CLASSES}, got"
+                          f" {tuple(sorted(latency))}")
+    for cls, h in latency.items():
+        where = f"{path}: latency.{cls}"
+        if not isinstance(h, dict) or set(h) != set(SERVICE_LATENCY_FIELDS):
+            raise SchemaError(f"{where} must have exactly fields"
+                              f" {SERVICE_LATENCY_FIELDS}")
+        for field in ("count", "window_count"):
+            if not isinstance(h[field], int) or h[field] < 0:
+                raise SchemaError(f"{where}.{field} must be a non-negative"
+                                  " integer")
+        if h["window_count"] > h["count"]:
+            raise SchemaError(f"{where}: window_count {h['window_count']}"
+                              f" exceeds cumulative count {h['count']}")
+        for field in ("mean_us", "p50_us", "p95_us", "p99_us"):
+            _number(h[field], f"{where}.{field}")
+            if h[field] is None:
+                raise SchemaError(f"{where}.{field} is non-finite")
+            if h[field] < 0:
+                raise SchemaError(f"{where}.{field} is negative")
+        if not (h["p50_us"] <= h["p95_us"] <= h["p99_us"]):
+            raise SchemaError(f"{where}: quantiles not monotone"
+                              f" (p50 {h['p50_us']}, p95 {h['p95_us']},"
+                              f" p99 {h['p99_us']})")
+        if h["count"] > 0 and h["p99_us"] <= 0:
+            raise SchemaError(f"{where}: nonzero count with zero p99")
+        bucket_total = 0
+        for pair in h["buckets"]:
+            if (not isinstance(pair, list) or len(pair) != 2
+                    or not isinstance(pair[1], int) or pair[1] < 0):
+                raise SchemaError(f"{where}.buckets must be [bound, count]"
+                                  " pairs")
+            bucket_total += pair[1]
+        if bucket_total != h["count"]:
+            raise SchemaError(f"{where}: bucket counts sum to {bucket_total}"
+                              f" but count is {h['count']}")
+    # Class counts against the counters they mirror.
+    checks = (
+        ("hit+miss", latency["hit"]["count"] + latency["miss"]["count"],
+         req["ok"]),
+        ("cancelled", latency["cancelled"]["count"], req["cancelled"]),
+        ("shed", latency["shed"]["count"],
+         req["shed_queue"] + req["shed_cost"]),
+        ("error", latency["error"]["count"],
+         req["errors"] + req["timeouts"]),
+    )
+    for name, recorded, counter in checks:
+        if recorded > counter:
+            raise SchemaError(f"{path}: latency class {name} recorded"
+                              f" {recorded} > counter {counter}")
+
+
 def _check_service(doc, path):
-    """msn-service-stats-v1: jobs, cache + request counters, registry."""
+    """msn-service-stats-v2: jobs, cache + request counters, latency
+    histograms, registry."""
     if not isinstance(doc.get("jobs"), int) or doc["jobs"] < 1:
         raise SchemaError(f"{path}: service 'jobs' must be a positive int")
     for section, required in (("cache", REQUIRED_SERVICE_CACHE),
@@ -211,6 +282,7 @@ def _check_service(doc, path):
         raise SchemaError(
             f"{path}: dp_runs {req['dp_runs']} exceeds received"
             f" {req['received']}")
+    _check_latency(doc.get("latency"), req, path)
     _check_run(doc.get("registry"), f"{path} registry")
     return (f"{path}: ok ({SERVICE_SCHEMA},"
             f" {doc['requests']['received']} requests)")

@@ -23,6 +23,7 @@
 //   msn_cli serve [--jobs N] [--cache-entries K] [--cache-bytes B]
 //           [--cache-shards S] [--cache-dir DIR] [--deadline-ms D]
 //           [--port P] [--max-connections C] [--max-queue Q] [--max-cost E]
+//           [--trace-dir DIR] [--trace-sample N]
 //       Long-running optimization service: line-delimited JSON requests on
 //       stdin (or a loopback TCP port with --port, serving up to
 //       --max-connections clients concurrently), responses on stdout,
@@ -31,9 +32,14 @@
 //       back on restart (crash-safe; docs/SERVICE.md).  --max-queue and
 //       --max-cost shed excess load with structured `overloaded`
 //       responses; expired deadlines cancel in-flight DP runs.
+//       --trace-dir writes one Chrome trace-event JSON file per sampled
+//       optimize request (load in Perfetto; summarize with
+//       tools/trace_view.py); --trace-sample N traces 1 in N requests
+//       (docs/OBSERVABILITY.md "Tracing").
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <initializer_list>
 #include <iostream>
@@ -87,7 +93,7 @@ struct UsageError : std::runtime_error {
       "  msn_cli serve [--jobs N] [--cache-entries K] [--cache-bytes B]"
       " [--cache-shards S] [--cache-dir DIR] [--deadline-ms D]"
       " [--port P] [--max-connections C] [--max-queue Q]"
-      " [--max-cost E]\n";
+      " [--max-cost E] [--trace-dir DIR] [--trace-sample N]\n";
   std::exit(2);
 }
 
@@ -407,7 +413,7 @@ int CmdServe(int argc, char** argv) {
                  {"--jobs", "--cache-entries", "--cache-bytes",
                   "--cache-shards", "--cache-dir", "--deadline-ms",
                   "--port", "--max-connections", "--max-queue",
-                  "--max-cost"});
+                  "--max-cost", "--trace-dir", "--trace-sample"});
   if (!pos.empty()) {
     throw UsageError("serve takes no positional arguments");
   }
@@ -456,6 +462,21 @@ int CmdServe(int argc, char** argv) {
     const double n = NumericFlag(flags, "--max-cost");
     if (n < 0) throw CliError("--max-cost must be non-negative");
     opt.max_estimated_solutions = n;
+  }
+  if (flags.count("--trace-dir")) {
+    const std::string& dir = flags.at("--trace-dir");
+    if (dir.empty()) throw CliError("--trace-dir needs a directory");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      throw CliError("--trace-dir " + dir + ": " + ec.message());
+    }
+    opt.trace_dir = dir;
+  }
+  if (flags.count("--trace-sample")) {
+    const double n = NumericFlag(flags, "--trace-sample");
+    if (n < 1) throw CliError("--trace-sample must be at least 1");
+    opt.trace_sample = static_cast<std::size_t>(n);
   }
   const Technology tech = DefaultTechnology();
   service::Server server(tech, opt);

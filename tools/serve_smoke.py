@@ -16,7 +16,14 @@ service contracts from docs/SERVICE.md:
     successor from the on-disk segment: the same requests are answered
     byte-identically as cache hits, with zero DP runs;
   * a corrupted segment (bit flip + truncated tail) is recovered from
-    cleanly — damaged records are recomputed, never served wrong.
+    cleanly — damaged records are recomputed, never served wrong;
+  * with --trace-dir, every sampled optimize writes a Chrome trace-event
+    JSON file named after the trace_id echoed in its response line, the
+    file validates under trace_view.py --check, and the span tree nests
+    server.request -> cache/DP spans down to the msri phases.
+
+Responses carry a per-request trace_id, unique by design, so identity
+checks compare lines with the trace_id stripped (strip_trace).
 
 Usage: serve_smoke.py /path/to/msn_cli [--jobs N]
 """
@@ -32,11 +39,20 @@ import tempfile
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import check_stats_schema  # noqa: E402  (sibling module)
 import serve_stress  # noqa: E402  (sibling module: TCP client/server)
+import trace_view  # noqa: E402  (sibling module: trace validation)
 
 
 def fail(msg):
     print("serve_smoke: FAIL: %s" % msg, file=sys.stderr)
     sys.exit(1)
+
+
+def strip_trace(line_or_doc):
+    """Canonical JSON with the (unique-per-request) trace_id removed."""
+    doc = (json.loads(line_or_doc) if isinstance(line_or_doc, str)
+           else dict(line_or_doc))
+    doc.pop("trace_id", None)
+    return json.dumps(doc, sort_keys=True)
 
 
 def stats_doc(lines, rid):
@@ -127,10 +143,16 @@ def scenario_protocol(cli, jobs):
         fail("expected %d response lines, got %d" %
              (len(requests), len(lines)))
 
-    # Byte-identical duplicate answered from cache, DP ran once.
+    # Identical duplicate (modulo trace_id) answered from cache, DP ran
+    # once.  trace_id itself must be present and fresh per request.
     dup = by_id(lines, "r")[:2]
-    if len(dup) != 2 or dup[0] != dup[1]:
-        fail("duplicate optimize responses are not byte-identical")
+    if len(dup) != 2 or strip_trace(dup[0]) != strip_trace(dup[1]):
+        fail("duplicate optimize responses differ beyond trace_id")
+    tids = [json.loads(l).get("trace_id") for l in dup]
+    if not all(isinstance(t, str) and len(t) == 16 for t in tids):
+        fail("responses missing a 16-hex trace_id: %r" % tids)
+    if tids[0] == tids[1]:
+        fail("duplicate requests reused trace_id %s" % tids[0])
     if not json.loads(dup[0])["ok"]:
         fail("optimize failed: %s" % dup[0])
     s1 = stats_doc(lines, "s1")
@@ -168,9 +190,9 @@ def scenario_protocol(cli, jobs):
     if s2["cache"]["flushes"] != 1:
         fail("expected 1 flush, got %d" % s2["cache"]["flushes"])
     third = by_id(lines, "r")[2]
-    if third != dup[0]:
-        fail("post-flush recompute changed the response bytes")
-    if s2.get("schema") != "msn-service-stats-v1":
+    if strip_trace(third) != strip_trace(dup[0]):
+        fail("post-flush recompute changed the response payload")
+    if s2.get("schema") != "msn-service-stats-v2":
         fail("stats schema is %r" % s2.get("schema"))
     print("serve_smoke: protocol OK (%d responses, hits=%d, dp_runs=%d)"
           % (len(lines), s2["cache"]["hits"], s2["requests"]["dp_runs"]))
@@ -221,7 +243,7 @@ def scenario_restart(cli, jobs):
                  % s2["cache"])
         for i in range(len(nets)):
             a, b = by_id(first, "n%d" % i)[0], by_id(second, "n%d" % i)[0]
-            if a != b:
+            if strip_trace(a) != strip_trace(b):
                 fail("warmed response for net %d differs from the"
                      " original" % i)
         print("serve_smoke: restart OK (replayed=%d, hits=%d, dp_runs=0)"
@@ -265,7 +287,7 @@ def scenario_corrupt(cli, jobs):
         # original bytes exactly.
         for i in range(len(nets)):
             a, b = by_id(first, "n%d" % i)[0], by_id(second, "n%d" % i)[0]
-            if a != b:
+            if strip_trace(a) != strip_trace(b):
                 fail("post-corruption response for net %d differs" % i)
             if not json.loads(b)["ok"]:
                 fail("post-corruption optimize failed: %s" % b)
@@ -276,6 +298,87 @@ def scenario_corrupt(cli, jobs):
                  s2["cache"]["segment_truncations"]))
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def scenario_trace(cli, jobs):
+    """--trace-dir: every sampled optimize writes a validating trace."""
+    nets = [gen_net(cli, seed=71), gen_net(cli, seed=72)]
+    requests = [
+        json.dumps({"op": "optimize", "id": "a", "net": nets[0]}),
+        json.dumps({"op": "optimize", "id": "b", "net": nets[1]}),
+        json.dumps({"op": "optimize", "id": "a2", "net": nets[0]}),
+        json.dumps({"op": "shutdown", "id": "x"}),
+    ]
+    trace_dir = tempfile.mkdtemp(prefix="msn_serve_trace_")
+    try:
+        lines = run_server(cli, jobs, requests, ["--trace-dir", trace_dir])
+        docs = {json.loads(l)["id"]: json.loads(l) for l in lines}
+        for rid in ("a", "b", "a2"):
+            doc = docs[rid]
+            if not doc.get("ok"):
+                fail("traced optimize %s failed: %r" % (rid, doc))
+            # The trace_id echoed to the client names the trace file.
+            path = os.path.join(trace_dir,
+                                "trace-%s.json" % doc["trace_id"])
+            if not os.path.exists(path):
+                fail("no trace file for %s (trace_id %s)"
+                     % (rid, doc["trace_id"]))
+            try:
+                _, events = trace_view.load_trace(path)
+            except trace_view.TraceError as e:
+                fail("trace for %s is malformed: %s" % (rid, e))
+            names = {ev["name"] for ev in events}
+            spans = {ev["args"]["span_id"]: ev for ev in events}
+            for want in ("server.request", "server.parse_net",
+                         "cache.lookup"):
+                if want not in names:
+                    fail("trace %s missing %s span (got %s)"
+                         % (rid, want, sorted(names)))
+            if rid == "a2":
+                if "dp.run" in names:
+                    fail("cache-hit request a2 has a dp.run span")
+                continue
+            # Cache misses show the full nesting: server.request ->
+            # dp.run -> msri.total -> per-phase spans.
+            for want in ("dp.run", "msri.total", "msri.leaf",
+                         "msri.root"):
+                if want not in names:
+                    fail("cache-miss trace %s missing %s span (got %s)"
+                         % (rid, want, sorted(names)))
+            dp = next(ev for ev in events if ev["name"] == "dp.run")
+            if spans[dp["args"]["parent_id"]]["name"] != "server.request":
+                fail("dp.run parent is %r, wanted server.request"
+                     % spans[dp["args"]["parent_id"]]["name"])
+            total = next(ev for ev in events
+                         if ev["name"] == "msri.total")
+            if spans[total["args"]["parent_id"]]["name"] != "dp.run":
+                fail("msri.total parent is %r, wanted dp.run"
+                     % spans[total["args"]["parent_id"]]["name"])
+        # The directory as a whole passes the CI validator.
+        if trace_view.main(["trace_view.py", trace_dir, "--check",
+                            "--min-traces", "3"]) != 0:
+            fail("trace_view --check rejected the trace directory")
+
+        # --trace-sample N keeps every Nth optimize: 4 requests at
+        # sample 2 leave exactly 2 trace files.
+        sample_dir = tempfile.mkdtemp(prefix="msn_serve_trace_")
+        try:
+            sampled = [json.dumps({"op": "optimize", "id": "s%d" % i,
+                                   "net": nets[i % 2]})
+                       for i in range(4)]
+            sampled.append(json.dumps({"op": "shutdown", "id": "x"}))
+            run_server(cli, jobs, sampled,
+                       ["--trace-dir", sample_dir, "--trace-sample", "2"])
+            n_files = len(trace_view.trace_files(sample_dir))
+            if n_files != 2:
+                fail("--trace-sample 2 wrote %d traces for 4 requests"
+                     % n_files)
+        finally:
+            shutil.rmtree(sample_dir, ignore_errors=True)
+        print("serve_smoke: trace OK (3 traces validated, sampling"
+              " honored)")
+    finally:
+        shutil.rmtree(trace_dir, ignore_errors=True)
 
 
 def scenario_concurrent(cli, jobs):
@@ -306,7 +409,7 @@ def scenario_concurrent(cli, jobs):
                         if not resp.get("ok"):
                             fail("concurrent optimize failed: %r" % resp)
                         if resp["id"] == "shared":
-                            payloads[c] = json.dumps(resp, sort_keys=True)
+                            payloads[c] = strip_trace(resp)
             return run
 
         def loris():
@@ -367,6 +470,7 @@ def main():
     scenario_protocol(cli, jobs)
     scenario_restart(cli, jobs)
     scenario_corrupt(cli, jobs)
+    scenario_trace(cli, jobs)
     scenario_concurrent(cli, jobs)
     print("serve_smoke: OK")
 

@@ -6,8 +6,11 @@ TCP front with the traffic docs/SERVICE.md promises to survive:
 
   * a storm of parallel clients submitting overlapping requests:
     every request gets exactly one response, duplicates are answered
-    byte-identically across connections, and the DP runs at most once
-    per distinct net (in-flight coalescing + cache);
+    identically across connections (modulo the per-request trace_id),
+    and the DP runs at most once per distinct net (in-flight
+    coalescing + cache) — while a poller thread validates live
+    `{"cmd":"stats"}` snapshots (schema + lifecycle inequality)
+    mid-storm;
   * mid-request disconnects: clients that submit work and vanish
     without reading must not crash the server (SIGPIPE), wedge a
     worker, or leak their connection fd — the server keeps serving and
@@ -183,10 +186,55 @@ def run_thread_pool(thunks):
         raise errors[0]
 
 
+def check_live_stats(doc, where):
+    """Validates one live `{"cmd":"stats"}` snapshot mid-storm."""
+    try:
+        check_stats_schema._check_service(doc, where)
+    except check_stats_schema.SchemaError as e:
+        return "%s schema violation: %s" % (where, e)
+    req = doc["requests"]
+    resolved = (req["ok"] + req["errors"] + req["timeouts"] +
+                req["shed_queue"] + req["shed_cost"] + req["cancelled"])
+    if resolved > req["received"]:
+        return ("%s: %d resolved > %d received mid-storm"
+                % (where, resolved, req["received"]))
+    return None
+
+
 def scenario_storm(server, nets, clients):
-    """Parallel duplicate-heavy traffic: exactly-one, byte-identical."""
+    """Parallel duplicate-heavy traffic: exactly-one, byte-identical.
+
+    A poller thread hammers the non-draining `{"cmd":"stats"}` verb the
+    whole time: every live snapshot must be schema-valid (including the
+    latency histograms) and hold the lifecycle inequality even while
+    requests are in flight — the live verb must never block behind the
+    storm or expose a torn document.
+    """
     responses = {}  # (client, req index) -> (net index, line)
     lock = threading.Lock()
+    storm_done = threading.Event()
+    poll_errors = []
+    snaps = []
+
+    def poller():
+        try:
+            with Client(server.port) as conn:
+                while not storm_done.is_set():
+                    conn.send({"cmd": "stats", "id": "live"})
+                    doc = conn.recv()
+                    err = check_live_stats(doc, "live stats")
+                    if err:
+                        poll_errors.append(err)
+                        return
+                    if snaps and (doc["requests"]["received"] <
+                                  snaps[-1]["requests"]["received"]):
+                        poll_errors.append("live received count went"
+                                           " backwards")
+                        return
+                    snaps.append(doc)
+                    time.sleep(0.02)
+        except BaseException as e:  # noqa: BLE001 - surfaced below
+            poll_errors.append("live stats poller died: %r" % e)
 
     def client_fn(c):
         def run():
@@ -210,23 +258,34 @@ def scenario_storm(server, nets, clients):
                         responses[(c, i)] = got[rid]
         return run
 
-    run_thread_pool([client_fn(c) for c in range(clients)])
+    poll_thread = threading.Thread(target=poller)
+    poll_thread.start()
+    try:
+        run_thread_pool([client_fn(c) for c in range(clients)])
+    finally:
+        storm_done.set()
+        poll_thread.join()
+    if poll_errors:
+        fail(poll_errors[0])
+    if not snaps:
+        fail("live stats poller produced no mid-storm snapshots")
     if len(responses) != clients * len(nets):
         fail("expected %d responses, got %d"
              % (clients * len(nets), len(responses)))
     # Identical net => identical payload across every connection (ids
-    # differ by construction, so compare everything else).
+    # and trace_ids differ by construction, so compare everything else).
     for i in range(len(nets)):
         payloads = set()
         for c in range(clients):
             doc = json.loads(responses[(c, i)])
             doc.pop("id")
+            doc.pop("trace_id", None)
             payloads.add(json.dumps(doc, sort_keys=True))
         if len(payloads) != 1:
             fail("net %d answered %d distinct payloads across clients"
                  % (i, len(payloads)))
-    print("serve_stress: storm OK (%d clients x %d nets)"
-          % (clients, len(nets)))
+    print("serve_stress: storm OK (%d clients x %d nets, %d live"
+          " snapshots)" % (clients, len(nets), len(snaps)))
 
 
 def scenario_disconnects(server, big_net, clients):
@@ -249,7 +308,7 @@ def scenario_disconnects(server, big_net, clients):
     # The server is still alive and serving...
     with Client(server.port) as probe:
         probe.send({"op": "stats", "id": "alive"})
-        if probe.recv().get("schema") != "msn-service-stats-v1":
+        if probe.recv().get("schema") != "msn-service-stats-v2":
             fail("server unresponsive after disconnect storm")
     # ...and every ghost's fd is reclaimed once their cancelled DPs
     # unwind.  Reaping happens on the accept thread when a connection

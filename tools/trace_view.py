@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Offline summarizer/validator for msn_cli serve trace directories.
+
+A traced server (`msn_cli serve --trace-dir=DIR [--trace-sample=N]`)
+writes one Chrome trace-event JSON file per sampled optimize request
+(`trace-<trace_id>.json`; load any of them in Perfetto or
+chrome://tracing).  This tool reads a whole directory of them:
+
+    trace_view.py DIR [--slowest N]
+        Per-phase time breakdown across every trace (total/mean/max per
+        span name) plus the slowest-N requests by root-span duration.
+
+    trace_view.py DIR --check [--min-traces K]
+        CI validation mode: every trace-*.json must be well-formed
+        Chrome trace-event JSON (traceEvents list of complete "X" events
+        with name/cat/ph/ts/dur/pid/tid and span/parent args), span ids
+        unique, parent links resolvable, every event's trace_id equal to
+        the file's, and child spans contained within their parents.
+        Exits 0 when everything holds (and at least --min-traces files
+        were seen, default 1), 1 otherwise.
+
+Pure stdlib.  The span taxonomy is documented in docs/OBSERVABILITY.md
+("Tracing").
+"""
+import argparse
+import glob
+import json
+import os
+import sys
+
+REQUIRED_EVENT_FIELDS = ("name", "cat", "ph", "ts", "dur", "pid", "tid",
+                         "args")
+
+
+class TraceError(Exception):
+    pass
+
+
+def load_trace(path):
+    """Parses and validates one trace file; returns (trace_id, events)."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("traceEvents"), list):
+        raise TraceError(f"{path}: missing traceEvents list")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or not isinstance(
+            other.get("trace_id"), str):
+        raise TraceError(f"{path}: missing otherData.trace_id")
+    trace_id = other["trace_id"]
+    if len(trace_id) != 16 or any(c not in "0123456789abcdef"
+                                  for c in trace_id):
+        raise TraceError(f"{path}: trace_id {trace_id!r} is not 16 hex"
+                         " chars")
+    dropped = other.get("dropped_spans")
+    if not isinstance(dropped, int) or dropped < 0:
+        raise TraceError(f"{path}: otherData.dropped_spans must be a"
+                         " non-negative integer")
+    events = []
+    spans = {}
+    for i, ev in enumerate(doc["traceEvents"]):
+        where = f"{path} traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise TraceError(f"{where}: not an object")
+        for field in REQUIRED_EVENT_FIELDS:
+            if field not in ev:
+                raise TraceError(f"{where}: missing {field!r}")
+        if ev["ph"] != "X":
+            raise TraceError(f"{where}: ph {ev['ph']!r}, wanted complete"
+                             " event 'X'")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            raise TraceError(f"{where}: bad name")
+        for field in ("ts", "dur"):
+            if not isinstance(ev[field], (int, float)) or ev[field] < 0:
+                raise TraceError(f"{where}: {field} must be a non-negative"
+                                 " number")
+        args = ev["args"]
+        if not isinstance(args, dict):
+            raise TraceError(f"{where}: args must be an object")
+        if args.get("trace_id") != trace_id:
+            raise TraceError(f"{where}: args.trace_id"
+                             f" {args.get('trace_id')!r} != file trace_id"
+                             f" {trace_id!r}")
+        for field in ("span_id", "parent_id"):
+            if not isinstance(args.get(field), int) or args[field] < 0:
+                raise TraceError(f"{where}: args.{field} must be a"
+                                 " non-negative integer")
+        span_id = args["span_id"]
+        if span_id == 0:
+            raise TraceError(f"{where}: span_id 0 is reserved for 'no"
+                             " parent'")
+        if span_id in spans:
+            raise TraceError(f"{where}: duplicate span_id {span_id}")
+        spans[span_id] = ev
+        events.append(ev)
+    # Parent links resolve, and children nest within their parents
+    # (small slack for clock reads straddling the scope boundary).
+    for ev in events:
+        parent_id = ev["args"]["parent_id"]
+        if parent_id == 0:
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            raise TraceError(f"{path}: span {ev['args']['span_id']}"
+                             f" ({ev['name']}) has unknown parent"
+                             f" {parent_id}")
+        slack = 1.0  # microseconds
+        if (ev["ts"] + slack < parent["ts"]
+                or ev["ts"] + ev["dur"]
+                > parent["ts"] + parent["dur"] + slack):
+            raise TraceError(
+                f"{path}: span {ev['name']} [{ev['ts']},"
+                f" {ev['ts'] + ev['dur']}] escapes parent"
+                f" {parent['name']} [{parent['ts']},"
+                f" {parent['ts'] + parent['dur']}]")
+    return trace_id, events
+
+
+def trace_files(trace_dir):
+    return sorted(glob.glob(os.path.join(trace_dir, "trace-*.json")))
+
+
+def summarize(traces, slowest):
+    """Per-span-name totals plus the slowest-N requests by root span."""
+    phases = {}  # name -> [calls, total_us, max_us]
+    roots = []   # (root_dur_us, trace_id, path)
+    for path, (trace_id, events) in traces:
+        for ev in events:
+            entry = phases.setdefault(ev["name"], [0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += ev["dur"]
+            entry[2] = max(entry[2], ev["dur"])
+        request = [ev for ev in events if ev["name"] == "server.request"]
+        if request:
+            roots.append((request[0]["dur"], trace_id, path))
+
+    print(f"{len(traces)} traces")
+    print(f"{'span':<22}{'calls':>8}{'total_ms':>12}{'mean_us':>12}"
+          f"{'max_us':>12}")
+    for name in sorted(phases, key=lambda n: -phases[n][1]):
+        calls, total, peak = phases[name]
+        print(f"{name:<22}{calls:>8}{total / 1000.0:>12.3f}"
+              f"{total / calls:>12.1f}{peak:>12.1f}")
+    if roots:
+        print(f"\nslowest {min(slowest, len(roots))} requests:")
+        roots.sort(reverse=True)
+        for dur, trace_id, path in roots[:slowest]:
+            print(f"  {trace_id}  {dur / 1000.0:10.3f} ms  {path}")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Summarize or validate an msn_cli serve trace"
+                    " directory.")
+    parser.add_argument("trace_dir", help="directory of trace-*.json files")
+    parser.add_argument("--check", action="store_true",
+                        help="validate only (CI mode); exit 1 on any"
+                             " malformed trace")
+    parser.add_argument("--min-traces", type=int, default=1,
+                        help="with --check, fail unless at least this many"
+                             " trace files exist (default 1)")
+    parser.add_argument("--slowest", type=int, default=10,
+                        help="how many slowest requests to list"
+                             " (default 10)")
+    args = parser.parse_args(argv[1:])
+
+    if not os.path.isdir(args.trace_dir):
+        print(f"error: {args.trace_dir} is not a directory",
+              file=sys.stderr)
+        return 1
+    paths = trace_files(args.trace_dir)
+    traces = []
+    for path in paths:
+        try:
+            traces.append((path, load_trace(path)))
+        except (json.JSONDecodeError, TraceError, OSError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 1
+
+    if args.check:
+        if len(traces) < args.min_traces:
+            print(f"error: {args.trace_dir}: found {len(traces)} traces,"
+                  f" wanted at least {args.min_traces}", file=sys.stderr)
+            return 1
+        total_spans = sum(len(events) for _, (_, events) in traces)
+        print(f"{args.trace_dir}: ok ({len(traces)} traces,"
+              f" {total_spans} spans)")
+        return 0
+
+    if not traces:
+        print(f"{args.trace_dir}: no trace-*.json files")
+        return 0
+    summarize(traces, args.slowest)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
