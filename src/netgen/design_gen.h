@@ -1,0 +1,73 @@
+// Seeded multi-net design generation for the timing-closure workload
+// (docs/STA.md).
+//
+// GenerateDesign grows a design one net at a time: each net sinks into
+// a freshly created component (whose in→out arcs carry random pin
+// delays) and optionally a new primary-output port, and is driven by
+// primary inputs or the out pins of *already created* components.
+// Every edge therefore points forward in creation order, so the design
+// is acyclic by construction; multi-source nets get two forward drivers
+// rather than a transceiver loop.  The builder goes through the same
+// Design::Add* mutators as the `.msd` parser and is finished with
+// Design::Validate, so a generated design is valid by the same rules
+// parsed ones are.
+//
+// Output-port required times are derived from the design's own
+// unoptimized critical paths (required = required_factor × initial
+// arrival), so `required_factor < 1` yields a design that fails timing
+// by a controlled margin — the closure loop's natural test input.
+//
+// Everything is deterministic in the seed: same config, same Design,
+// byte-identical files from WriteDesignFiles.
+#ifndef MSN_NETGEN_DESIGN_GEN_H
+#define MSN_NETGEN_DESIGN_GEN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "netgen/netgen.h"
+#include "sta/design.h"
+#include "tech/tech.h"
+
+namespace msn {
+
+struct DesignConfig {
+  std::uint64_t seed = 1;
+  std::size_t num_nets = 8;
+  /// Terminals per net, drawn uniformly (min >= 2 after clamping).
+  std::size_t terminals_min = 3;
+  std::size_t terminals_max = 5;
+  /// Per-net placement grid handed to BuildExperimentNet.
+  NetConfig net;
+  /// Fraction of nets given two source terminals (multi-source buses).
+  double multi_source_fraction = 0.25;
+  /// Fraction of multi-sink nets that also sink into a new primary
+  /// output (the last net always does, so every design has endpoints).
+  double output_fraction = 0.35;
+  /// Component pin-to-pin arc delay range.
+  double arc_delay_min_ps = 20.0;
+  double arc_delay_max_ps = 120.0;
+  /// Primary-input arrival range.
+  double arrival_max_ps = 50.0;
+  /// Output required time = this × the port's unoptimized arrival;
+  /// < 1 generates a design that initially fails timing.
+  double required_factor = 0.9;
+};
+
+/// Generates the design with every net's topology loaded (ready for
+/// CloseTiming without touching disk).  Net `msn_path`s are
+/// "net_0000.msn"-style relative names for WriteDesignFiles.
+sta::Design GenerateDesign(const DesignConfig& config,
+                           const Technology& tech);
+
+/// Writes `<dir>/<name>.msd` plus every net's `.msn` into `dir`
+/// (created if missing) and returns the `.msd` path.  Byte-identical
+/// for identical designs.
+std::string WriteDesignFiles(const sta::Design& design,
+                             const std::string& dir,
+                             const std::string& name = "design");
+
+}  // namespace msn
+
+#endif  // MSN_NETGEN_DESIGN_GEN_H

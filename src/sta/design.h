@@ -1,0 +1,175 @@
+// Multi-net design description — the static-timing layer's input
+// (docs/STA.md).
+//
+// The `.msd` format is a line-oriented, whitespace-separated description
+// of a whole design: components with pin-to-pin delay arcs, primary I/O
+// constraints, and nets that reference `.msn` routing topologies:
+//
+//   msn-design 1
+//   input <port> <arrival_ps>
+//   output <port> <required_ps>
+//   component <name>
+//   pin <component> <pin> in|out|inout
+//   arc <component> <from_pin> <to_pin> <delay_ps>
+//   net <name> <file.msn> <endpoint>...
+//   end
+//
+// An endpoint is `component.pin` or a bare port name (names therefore
+// must not contain '.').  A net's endpoints map to its `.msn` terminals
+// in terminal-ordinal order; the terminal's source/sink roles determine
+// signal direction (a multi-source net simply has several source
+// terminals).  Declarations must precede use.  Comments start with '#'.
+//
+// Malformed input throws the same line-numbered msn::ParseError the
+// `.msn` reader uses, so one diagnostic style covers both formats.
+#ifndef MSN_STA_DESIGN_H
+#define MSN_STA_DESIGN_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/netfile.h"
+#include "rctree/rctree.h"
+
+namespace msn::sta {
+
+/// Sentinel for "no index".
+inline constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+/// Direction of a component pin.  `kInOut` models a transceiver pin that
+/// both drives and receives its net; the timing graph splits it into a
+/// drive node (fed by arcs, feeding the net) and a receive node (fed by
+/// the net, feeding arcs) so a bidirectional net is not a false cycle.
+enum class PinDir { kIn, kOut, kInOut };
+
+struct DesignPin {
+  std::string name;
+  PinDir dir = PinDir::kIn;
+  std::size_t line = 0;  ///< Declaration line (0 = programmatic).
+};
+
+/// A pin-to-pin delay arc inside one component (in/inout -> out/inout).
+struct DesignArc {
+  std::size_t from_pin = kNoIndex;
+  std::size_t to_pin = kNoIndex;
+  double delay_ps = 0.0;
+  std::size_t line = 0;
+};
+
+struct DesignComponent {
+  std::string name;
+  std::vector<DesignPin> pins;
+  std::vector<DesignArc> arcs;
+  std::size_t line = 0;
+
+  /// Pin index by name; kNoIndex when absent.
+  std::size_t FindPin(const std::string& pin_name) const;
+};
+
+/// A primary input (arrival constraint) or output (required constraint).
+struct DesignPort {
+  std::string name;
+  bool is_input = true;
+  double time_ps = 0.0;  ///< Arrival for inputs, required for outputs.
+  std::size_t line = 0;
+};
+
+/// One net endpoint: a component pin or a primary port.
+struct Endpoint {
+  std::size_t component = kNoIndex;  ///< kNoIndex: `pin` indexes a port.
+  std::size_t pin = kNoIndex;
+
+  bool IsPort() const { return component == kNoIndex; }
+  bool operator==(const Endpoint&) const = default;
+};
+
+struct DesignNet {
+  std::string name;
+  std::string msn_path;  ///< As written; resolved against the .msd's dir.
+  /// One endpoint per `.msn` terminal, in terminal-ordinal order.
+  std::vector<Endpoint> endpoints;
+  /// The routing topology; loaded by LoadDesignNets.
+  std::optional<RcTree> tree;
+  std::size_t line = 0;
+};
+
+/// The in-memory design.  Built either by the `.msd` parser or
+/// programmatically through the Add* mutators (the netgen design
+/// generator uses the latter); both paths share the same validation, so
+/// a generated design is valid by construction.
+struct Design {
+  std::vector<DesignComponent> components;
+  std::vector<DesignPort> ports;
+  std::vector<DesignNet> nets;
+
+  // -- Construction (throws ParseError carrying `line`; 0 = whole file).
+
+  std::size_t AddComponent(const std::string& name, std::size_t line = 0);
+  std::size_t AddPin(std::size_t component, const std::string& name,
+                     PinDir dir, std::size_t line = 0);
+  void AddArc(std::size_t component, const std::string& from,
+              const std::string& to, double delay_ps, std::size_t line = 0);
+  std::size_t AddInputPort(const std::string& name, double arrival_ps,
+                           std::size_t line = 0);
+  std::size_t AddOutputPort(const std::string& name, double required_ps,
+                            std::size_t line = 0);
+  /// Adds a net whose endpoints are given as `.msd` tokens
+  /// (`component.pin` or port name); every reference must already be
+  /// declared — an unresolved token is the "missing net reference"
+  /// diagnostic.
+  std::size_t AddNet(const std::string& name, const std::string& msn_path,
+                     const std::vector<std::string>& endpoint_tokens,
+                     std::size_t line = 0);
+
+  // -- Lookup.
+
+  std::size_t FindComponent(const std::string& name) const;
+  std::size_t FindPort(const std::string& name) const;
+  /// Resolves an endpoint token; throws ParseError at `line` when the
+  /// component, pin, or port does not exist.
+  Endpoint ResolveEndpoint(const std::string& token,
+                           std::size_t line) const;
+  /// Renders an endpoint back to its token form.
+  std::string EndpointName(const Endpoint& e) const;
+
+  /// Whole-design validation, run after nets are loaded: terminal/
+  /// endpoint role compatibility, dangling input pins (driven by no
+  /// net), input pins on several nets, undriven output pins, nets
+  /// without a source or sink terminal.  Throws ParseError carrying the
+  /// offending declaration's line.
+  void Validate() const;
+
+ private:
+  std::map<std::string, std::size_t> component_index_;
+  std::map<std::string, std::size_t> port_index_;
+  std::map<std::string, std::size_t> net_index_;
+};
+
+/// Parses a `.msd` stream (text only; net trees stay unloaded).  Throws
+/// msn::ParseError with the offending line number on malformed input.
+Design ReadDesign(std::istream& is);
+
+/// Loads every net's `.msn` topology (paths resolved relative to
+/// `base_dir`) and checks endpoint/terminal compatibility: endpoint
+/// count must equal the terminal count, source terminals need
+/// source-capable endpoints (out/inout pins, input ports), sink
+/// terminals need sink-capable ones.  Throws ParseError at the net's
+/// declaration line.
+void LoadDesignNets(Design* design, const std::string& base_dir);
+
+/// Read + load + validate, resolving net paths against the `.msd`'s own
+/// directory.  Throws CheckError when the file cannot be opened and
+/// ParseError on malformed content.
+Design LoadDesign(const std::string& path);
+
+/// Writes the design in `.msd` form (net trees are referenced by path,
+/// not embedded).  Round-trips through ReadDesign byte-identically.
+void WriteDesign(std::ostream& os, const Design& design);
+
+}  // namespace msn::sta
+
+#endif  // MSN_STA_DESIGN_H

@@ -1,0 +1,221 @@
+#include "sta/timing_graph.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "io/netfile.h"
+
+namespace msn::sta {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::size_t TimingGraph::DriveNode(const Design& design,
+                                   const Endpoint& e) const {
+  if (e.IsPort()) return port_node_[e.pin];
+  const std::size_t base = pin_node_[e.component][e.pin];
+  // An inout pin's drive node is its first node (fed by arcs).
+  (void)design;
+  return base;
+}
+
+std::size_t TimingGraph::ReceiveNode(const Design& design,
+                                     const Endpoint& e) const {
+  if (e.IsPort()) return port_node_[e.pin];
+  const std::size_t base = pin_node_[e.component][e.pin];
+  const PinDir dir = design.components[e.component].pins[e.pin].dir;
+  return dir == PinDir::kInOut ? base + 1 : base;
+}
+
+TimingGraph::TimingGraph(const Design& design) : design_(&design) {
+  // ---- Node numbering: ports first, then component pins in
+  // declaration order (inout pins take two consecutive nodes:
+  // drive, then receive).
+  port_node_.resize(design.ports.size());
+  endpoint_node_.assign(design.ports.size(), kNoIndex);
+  for (std::size_t p = 0; p < design.ports.size(); ++p) {
+    port_node_[p] = node_name_.size();
+    node_name_.push_back(design.ports[p].name);
+    if (!design.ports[p].is_input) endpoint_node_[p] = port_node_[p];
+  }
+  pin_node_.resize(design.components.size());
+  for (std::size_t c = 0; c < design.components.size(); ++c) {
+    const DesignComponent& comp = design.components[c];
+    pin_node_[c].resize(comp.pins.size());
+    for (std::size_t p = 0; p < comp.pins.size(); ++p) {
+      pin_node_[c][p] = node_name_.size();
+      const std::string full = comp.name + "." + comp.pins[p].name;
+      if (comp.pins[p].dir == PinDir::kInOut) {
+        node_name_.push_back(full + ":drive");
+        node_name_.push_back(full + ":receive");
+      } else {
+        node_name_.push_back(full);
+      }
+    }
+  }
+
+  // ---- Edges.  Arcs start at the from-pin's receive side and end at
+  // the to-pin's drive side; net edges connect every source terminal's
+  // drive node to every sink terminal's receive node.
+  for (std::size_t c = 0; c < design.components.size(); ++c) {
+    const DesignComponent& comp = design.components[c];
+    for (const DesignArc& arc : comp.arcs) {
+      Edge e;
+      e.from = ReceiveNode(design, Endpoint{c, arc.from_pin});
+      e.to = DriveNode(design, Endpoint{c, arc.to_pin});
+      e.delay_ps = arc.delay_ps;
+      e.line = arc.line;
+      edges_.push_back(e);
+    }
+  }
+  net_delay_ps_.assign(design.nets.size(), 0.0);
+  net_edge_index_.resize(design.nets.size());
+  for (std::size_t n = 0; n < design.nets.size(); ++n) {
+    const DesignNet& net = design.nets[n];
+    MSN_CHECK_MSG(net.tree.has_value(),
+                  "net '" << net.name << "' has no loaded topology");
+    const RcTree& tree = *net.tree;
+    for (std::size_t s = 0; s < tree.NumTerminals(); ++s) {
+      if (!tree.Terminal(s).is_source) continue;
+      for (std::size_t t = 0; t < tree.NumTerminals(); ++t) {
+        if (!tree.Terminal(t).is_sink || t == s) continue;
+        Edge e;
+        e.from = DriveNode(design, net.endpoints[s]);
+        e.to = ReceiveNode(design, net.endpoints[t]);
+        e.net = n;
+        e.line = net.line;
+        net_edge_index_[n].push_back(edges_.size());
+        edges_.push_back(e);
+      }
+    }
+  }
+
+  // ---- Adjacency + Kahn topological order with cycle detection.
+  const std::size_t num_nodes = node_name_.size();
+  out_edges_.resize(num_nodes);
+  in_edges_.resize(num_nodes);
+  std::vector<std::size_t> in_degree(num_nodes, 0);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    out_edges_[edges_[i].from].push_back(i);
+    in_edges_[edges_[i].to].push_back(i);
+    ++in_degree[edges_[i].to];
+  }
+  topo_order_.reserve(num_nodes);
+  std::vector<std::size_t> frontier;
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    if (in_degree[v] == 0) frontier.push_back(v);
+  }
+  // Pop smallest-index first so the order (and hence nothing — the
+  // propagation result is order-independent) is at least reproducible
+  // for debugging.
+  std::make_heap(frontier.begin(), frontier.end(),
+                 std::greater<std::size_t>());
+  while (!frontier.empty()) {
+    std::pop_heap(frontier.begin(), frontier.end(),
+                  std::greater<std::size_t>());
+    const std::size_t v = frontier.back();
+    frontier.pop_back();
+    topo_order_.push_back(v);
+    for (const std::size_t ei : out_edges_[v]) {
+      const std::size_t w = edges_[ei].to;
+      if (--in_degree[w] == 0) {
+        frontier.push_back(w);
+        std::push_heap(frontier.begin(), frontier.end(),
+                       std::greater<std::size_t>());
+      }
+    }
+  }
+  if (topo_order_.size() != num_nodes) {
+    // Every remaining node with nonzero in-degree sits on or downstream
+    // of a cycle; name the first one and cite the line of an incident
+    // unresolved edge.
+    for (std::size_t v = 0; v < num_nodes; ++v) {
+      if (in_degree[v] == 0) continue;
+      std::size_t line = 0;
+      for (const std::size_t ei : in_edges_[v]) {
+        if (in_degree[edges_[ei].from] != 0) {
+          line = edges_[ei].line;
+          break;
+        }
+      }
+      throw ParseError(line, "combinational cycle through '" +
+                                 node_name_[v] + "'");
+    }
+    MSN_CHECK_MSG(false, "cycle detected but no cyclic node found");
+  }
+
+  arrival_ps_.assign(num_nodes, -kInf);
+  required_ps_.assign(num_nodes, kInf);
+}
+
+void TimingGraph::Propagate() {
+  const Design& design = *design_;
+  std::fill(arrival_ps_.begin(), arrival_ps_.end(), -kInf);
+  std::fill(required_ps_.begin(), required_ps_.end(), kInf);
+  for (std::size_t p = 0; p < design.ports.size(); ++p) {
+    if (design.ports[p].is_input) {
+      arrival_ps_[port_node_[p]] = design.ports[p].time_ps;
+    } else {
+      required_ps_[port_node_[p]] = design.ports[p].time_ps;
+    }
+  }
+  for (const std::size_t v : topo_order_) {
+    const double a = arrival_ps_[v];
+    if (a == -kInf) continue;
+    for (const std::size_t ei : out_edges_[v]) {
+      const Edge& e = edges_[ei];
+      arrival_ps_[e.to] =
+          std::max(arrival_ps_[e.to], a + EdgeDelayPs(e));
+    }
+  }
+  for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
+    const double r = required_ps_[*it];
+    if (r == kInf) continue;
+    for (const std::size_t ei : in_edges_[*it]) {
+      const Edge& e = edges_[ei];
+      required_ps_[e.from] =
+          std::min(required_ps_[e.from], r - EdgeDelayPs(e));
+    }
+  }
+}
+
+double TimingGraph::NetSpecPs(std::size_t net) const {
+  double spec = kInf;
+  for (const std::size_t ei : net_edge_index_[net]) {
+    const Edge& e = edges_[ei];
+    const double a = arrival_ps_[e.from];
+    const double r = required_ps_[e.to];
+    if (a == -kInf || r == kInf) continue;
+    spec = std::min(spec, r - a);
+  }
+  return spec;
+}
+
+std::vector<EndpointSlack> TimingGraph::EndpointSlacks() const {
+  const Design& design = *design_;
+  std::vector<EndpointSlack> slacks;
+  for (std::size_t p = 0; p < design.ports.size(); ++p) {
+    if (endpoint_node_[p] == kNoIndex) continue;
+    const std::size_t v = endpoint_node_[p];
+    EndpointSlack s;
+    s.name = design.ports[p].name;
+    s.arrival_ps = arrival_ps_[v];
+    s.required_ps = design.ports[p].time_ps;
+    s.slack_ps =
+        arrival_ps_[v] == -kInf ? kInf : s.required_ps - s.arrival_ps;
+    slacks.push_back(std::move(s));
+  }
+  return slacks;
+}
+
+double TimingGraph::WorstSlackPs() const {
+  double worst = kInf;
+  for (const EndpointSlack& s : EndpointSlacks()) {
+    worst = std::min(worst, s.slack_ps);
+  }
+  return worst;
+}
+
+}  // namespace msn::sta

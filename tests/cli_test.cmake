@@ -104,6 +104,64 @@ if(NOT out MATCHES "needs a value")
 endif()
 run_cli(2 out serve extra-positional)
 
+# --- gen-design / close-timing (docs/STA.md) -------------------------
+
+# Generate a small design; the .msd and every referenced .msn appear.
+run_cli(0 out gen-design --nets 4 --seed 11 -o d1)
+if(NOT out MATCHES "4 nets")
+  message(FATAL_ERROR "gen-design output missing net count: ${out}")
+endif()
+if(NOT EXISTS ${WORK}/d1/design.msd OR NOT EXISTS ${WORK}/d1/net_0003.msn)
+  message(FATAL_ERROR "gen-design did not write the design files")
+endif()
+
+# Same seed, byte-identical files; different seed, different bytes.
+run_cli(0 out gen-design --nets 4 --seed 11 -o d2)
+file(SHA256 ${WORK}/d1/design.msd h1)
+file(SHA256 ${WORK}/d2/design.msd h2)
+if(NOT h1 STREQUAL h2)
+  message(FATAL_ERROR "gen-design is not deterministic in the seed")
+endif()
+file(SHA256 ${WORK}/d1/net_0002.msn n1)
+file(SHA256 ${WORK}/d2/net_0002.msn n2)
+if(NOT n1 STREQUAL n2)
+  message(FATAL_ERROR "gen-design nets are not deterministic in the seed")
+endif()
+run_cli(0 out gen-design --nets 4 --seed 12 -o d3)
+file(SHA256 ${WORK}/d3/design.msd h3)
+if(h1 STREQUAL h3)
+  message(FATAL_ERROR "gen-design ignores the seed")
+endif()
+
+# Close timing on the generated design; the report ends in a verdict.
+run_cli(0 out close-timing d1/design.msd --jobs 2 --max-iters 8)
+if(NOT out MATCHES "converged: " OR NOT out MATCHES "final worst slack")
+  message(FATAL_ERROR "close-timing report malformed: ${out}")
+endif()
+
+# Exit-code hygiene for the new subcommands: unknown flags are usage
+# errors (stderr usage text + exit 2), runtime failures are exit 1.
+run_cli(2 out close-timing d1/design.msd --bogus-flag 1)
+if(NOT out MATCHES "unknown flag '--bogus-flag'" OR NOT out MATCHES "usage:")
+  message(FATAL_ERROR "close-timing unknown flag not rejected: ${out}")
+endif()
+run_cli(2 out gen-design --nets 2 --port 7 -o dx)  # valid elsewhere only
+run_cli(2 out gen-design --nets 2 -o dx extra-positional)
+run_cli(1 out close-timing missing.msd)
+run_cli(1 out close-timing d1/design.msd --jobs 0)
+run_cli(1 out close-timing d1/design.msd --jobs abc)
+if(NOT out MATCHES "expects a number")
+  message(FATAL_ERROR "bad --jobs value not diagnosed: ${out}")
+endif()
+
+# Malformed .msd files fail with exit 1 and a line-numbered one-liner.
+file(WRITE ${WORK}/bad.msd
+     "msn-design 1\nnet n0 net.msn u0.a u0.b\nend\n")
+run_cli(1 out close-timing bad.msd)
+if(NOT out MATCHES "error: .*line 2")
+  message(FATAL_ERROR "malformed-design error lacks a line number: ${out}")
+endif()
+
 # The serve loop answers on stdin/stdout and exits 0 on shutdown.
 file(WRITE ${WORK}/serve_input.txt
      "{\"op\":\"stats\",\"id\":\"s\"}\n{\"op\":\"shutdown\"}\n")

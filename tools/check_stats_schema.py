@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Validates msn-run-stats-v1 / msn-bench-stats-v1 / msn-batch-stats-v1 /
-msn-service-stats-v2 JSON files.
+msn-service-stats-v2 / msn-sta-stats-v1 JSON files.
 
 Usage:
     check_stats_schema.py STATS.json [STATS.json ...]
@@ -17,6 +17,7 @@ RUN_SCHEMA = "msn-run-stats-v1"
 BENCH_SCHEMA = "msn-bench-stats-v1"
 BATCH_SCHEMA = "msn-batch-stats-v1"
 SERVICE_SCHEMA = "msn-service-stats-v2"
+STA_SCHEMA = "msn-sta-stats-v1"
 
 # The service stats document's fixed integer fields
 # (docs/OBSERVABILITY.md; emitted by src/service/server.cc).
@@ -288,6 +289,133 @@ def _check_service(doc, path):
             f" {doc['requests']['received']} requests)")
 
 
+# Per-iteration counters of the closure stats document
+# (docs/STA.md; emitted by src/sta/closure.cc WriteClosureStatsJson).
+STA_ITERATION_COUNTERS = (
+    "failing_endpoints", "failing_nets", "nets_examined",
+    "nets_optimized", "cache_hits", "cache_misses", "dp_runs",
+)
+STA_CACHE_FIELDS = ("hits", "misses", "insertions", "evictions",
+                    "collisions", "entries", "bytes")
+
+
+def _check_sta(doc, path):
+    """msn-sta-stats-v1: closure iterations, cache totals, slack
+    histogram, registry.
+
+    Beyond shape, this asserts the closure loop's contracts: the
+    per-iteration worst slack is monotone non-decreasing (the loop only
+    ever lowers net delays), DP runs are bounded by cache misses (every
+    DP run was a miss first), the document totals equal the per-iteration
+    sums, the cache object's hit/miss counters mirror them (lookups
+    happen nowhere else), and the slack histogram partitions every
+    endpoint exactly once under strictly increasing bucket bounds.
+    """
+    for name in ("nets", "endpoints"):
+        if not isinstance(doc.get(name), int) or doc[name] < 0:
+            raise SchemaError(f"{path}: {name!r} must be a non-negative int")
+    for name in ("jobs", "max_iters"):
+        if not isinstance(doc.get(name), int) or doc[name] < 1:
+            raise SchemaError(f"{path}: {name!r} must be a positive int")
+    if not isinstance(doc.get("design"), str):
+        raise SchemaError(f"{path}: missing string 'design'")
+    for name in ("converged", "timing_met"):
+        if not isinstance(doc.get(name), bool):
+            raise SchemaError(f"{path}: missing boolean {name!r}")
+    _number(doc.get("final_worst_slack_ps"), f"{path}: final_worst_slack_ps")
+
+    iterations = doc.get("iterations")
+    if not isinstance(iterations, list) or not iterations:
+        raise SchemaError(f"{path}: 'iterations' must be a non-empty list")
+    if len(iterations) > doc["max_iters"]:
+        raise SchemaError(f"{path}: {len(iterations)} iterations recorded"
+                          f" with max_iters {doc['max_iters']}")
+    prev_slack = None
+    sums = dict.fromkeys(("cache_hits", "cache_misses", "dp_runs"), 0)
+    for i, it in enumerate(iterations):
+        where = f"{path} iterations[{i}]"
+        if not isinstance(it, dict):
+            raise SchemaError(f"{where}: not a JSON object")
+        _number(it.get("worst_slack_ps"), f"{where}: worst_slack_ps")
+        for name in STA_ITERATION_COUNTERS:
+            if not isinstance(it.get(name), int) or it[name] < 0:
+                raise SchemaError(f"{where}: {name!r} must be a"
+                                  " non-negative integer")
+        if it["dp_runs"] > it["cache_misses"]:
+            raise SchemaError(f"{where}: dp_runs {it['dp_runs']} exceeds"
+                              f" cache_misses {it['cache_misses']}")
+        if it["nets_optimized"] > it["nets_examined"]:
+            raise SchemaError(f"{where}: nets_optimized exceeds"
+                              " nets_examined")
+        if it["nets_examined"] > doc["nets"]:
+            raise SchemaError(f"{where}: nets_examined exceeds design"
+                              f" net count {doc['nets']}")
+        if it["failing_endpoints"] > doc["endpoints"]:
+            raise SchemaError(f"{where}: failing_endpoints exceeds"
+                              f" endpoint count {doc['endpoints']}")
+        for name in sums:
+            sums[name] += it[name]
+        slack = it["worst_slack_ps"]
+        if slack is not None and prev_slack is not None:
+            if slack < prev_slack:
+                raise SchemaError(
+                    f"{where}: worst slack regressed"
+                    f" ({prev_slack} -> {slack}); the closure loop only"
+                    " ever lowers net delays")
+        if slack is not None:
+            prev_slack = slack
+    for name, total_name in (("cache_hits", "total_cache_hits"),
+                             ("cache_misses", "total_cache_misses"),
+                             ("dp_runs", "total_dp_runs")):
+        total = doc.get(total_name)
+        if not isinstance(total, int) or total != sums[name]:
+            raise SchemaError(f"{path}: {total_name} is {total!r} but the"
+                              f" iterations sum to {sums[name]}")
+
+    cache = doc.get("cache")
+    if not isinstance(cache, dict):
+        raise SchemaError(f"{path}: missing object section 'cache'")
+    for name in STA_CACHE_FIELDS:
+        if not isinstance(cache.get(name), int) or cache[name] < 0:
+            raise SchemaError(f"{path}: cache.{name} must be a"
+                              " non-negative integer")
+    for name in ("hits", "misses"):
+        if cache[name] != sums[f"cache_{name}"]:
+            raise SchemaError(f"{path}: cache.{name} {cache[name]} does not"
+                              f" mirror the iteration total"
+                              f" {sums[f'cache_{name}']}")
+
+    hist = doc.get("slack_histogram")
+    if not isinstance(hist, list):
+        raise SchemaError(f"{path}: missing list 'slack_histogram'")
+    if not hist and doc["endpoints"] > 0:
+        raise SchemaError(f"{path}: empty slack_histogram with"
+                          f" {doc['endpoints']} endpoints")
+    prev_bound = None
+    total = 0
+    for pair in hist:
+        if (not isinstance(pair, list) or len(pair) != 2
+                or not isinstance(pair[1], int) or pair[1] < 0):
+            raise SchemaError(f"{path}: slack_histogram must be"
+                              " [bound, count] pairs")
+        _number(pair[0], f"{path}: slack_histogram bound")
+        if pair[0] is None:
+            raise SchemaError(f"{path}: non-finite slack_histogram bound")
+        if prev_bound is not None and pair[0] <= prev_bound:
+            raise SchemaError(f"{path}: slack_histogram bounds not strictly"
+                              f" increasing ({prev_bound} -> {pair[0]})")
+        prev_bound = pair[0]
+        total += pair[1]
+    if total != doc["endpoints"]:
+        raise SchemaError(f"{path}: slack_histogram counts sum to {total}"
+                          f" but the design has {doc['endpoints']}"
+                          " endpoints")
+
+    _check_run(doc.get("registry"), f"{path} registry")
+    return (f"{path}: ok ({STA_SCHEMA}, {len(iterations)} iterations,"
+            f" {doc['nets']} nets)")
+
+
 def check_file(path, strict_optimize=False):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
@@ -295,6 +423,8 @@ def check_file(path, strict_optimize=False):
         return _check_batch(doc, path)
     if isinstance(doc, dict) and doc.get("schema") == SERVICE_SCHEMA:
         return _check_service(doc, path)
+    if isinstance(doc, dict) and doc.get("schema") == STA_SCHEMA:
+        return _check_sta(doc, path)
     if isinstance(doc, dict) and doc.get("schema") == BENCH_SCHEMA:
         if not isinstance(doc.get("bench"), str) or not doc["bench"]:
             raise SchemaError(f"{path}: bench trajectory missing 'bench'")

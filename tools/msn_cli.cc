@@ -20,6 +20,19 @@
 //       (docs/RUNTIME.md).
 //   msn_cli render NET.msn [SOLUTION.msn]
 //       ASCII sketch of the net (with repeater markers if given).
+//   msn_cli gen-design --nets N [--seed S] [--terminals-min A]
+//           [--terminals-max B] [--grid UM] [--required-factor F]
+//           [--multi-source F] -o DIR
+//       Generate a seeded multi-net design: DIR/design.msd plus one .msn
+//       per net (docs/STA.md).  Byte-identical for the same seed.
+//   msn_cli close-timing DESIGN.msd [--jobs N] [--max-iters K]
+//           [--nets-per-iter M] [--cache-dir DIR] [--stats=FILE.json]
+//       Static-timing closure: propagate arrivals/requireds, derive
+//       per-net ARD specs from slack, optimize critical nets through the
+//       batch engine (frontiers cached by canonical fingerprint;
+//       --cache-dir persists them across runs), iterate to convergence.
+//       The report on stdout is byte-identical at any --jobs; --stats
+//       writes the msn-sta-stats-v1 document (docs/STA.md).
 //   msn_cli serve [--jobs N] [--cache-entries K] [--cache-bytes B]
 //           [--cache-shards S] [--cache-dir DIR] [--deadline-ms D]
 //           [--port P] [--max-connections C] [--max-queue Q] [--max-cost E]
@@ -54,10 +67,13 @@
 #include "io/netfile.h"
 #include "io/report.h"
 #include "io/table.h"
+#include "netgen/design_gen.h"
 #include "netgen/netgen.h"
 #include "obs/stats.h"
 #include "runtime/batch.h"
 #include "service/server.h"
+#include "sta/closure.h"
+#include "sta/design.h"
 #include "tech/tech.h"
 
 namespace {
@@ -90,6 +106,11 @@ struct UsageError : std::runtime_error {
       " [--mode repeaters|sizing|joint] [--intra-net]"
       " [--stats=FILE.json]\n"
       "  msn_cli render NET.msn [SOLUTION.msn]\n"
+      "  msn_cli gen-design --nets N [--seed S] [--terminals-min A]"
+      " [--terminals-max B] [--grid UM] [--required-factor F]"
+      " [--multi-source F] -o DIR\n"
+      "  msn_cli close-timing DESIGN.msd [--jobs N] [--max-iters K]"
+      " [--nets-per-iter M] [--cache-dir DIR] [--stats=FILE.json]\n"
       "  msn_cli serve [--jobs N] [--cache-entries K] [--cache-bytes B]"
       " [--cache-shards S] [--cache-dir DIR] [--deadline-ms D]"
       " [--port P] [--max-connections C] [--max-queue Q]"
@@ -406,6 +427,124 @@ int CmdRender(int argc, char** argv) {
   return 0;
 }
 
+int CmdGenDesign(int argc, char** argv) {
+  std::vector<std::string> pos;
+  const auto flags =
+      ParseFlags(argc, argv, 2, &pos,
+                 {"--nets", "--seed", "--terminals-min", "--terminals-max",
+                  "--grid", "--required-factor", "--multi-source", "-o"});
+  if (!pos.empty()) {
+    throw UsageError("gen-design takes no positional arguments");
+  }
+  MSN_CHECK_MSG(flags.count("--nets") && flags.count("-o"),
+                "gen-design requires --nets and -o");
+  DesignConfig cfg;
+  const double nets = NumericFlag(flags, "--nets");
+  if (nets < 1) throw CliError("--nets must be at least 1");
+  cfg.num_nets = static_cast<std::size_t>(nets);
+  if (flags.count("--seed")) {
+    cfg.seed = static_cast<std::uint64_t>(NumericFlag(flags, "--seed"));
+  }
+  if (flags.count("--terminals-min")) {
+    const double n = NumericFlag(flags, "--terminals-min");
+    if (n < 2) throw CliError("--terminals-min must be at least 2");
+    cfg.terminals_min = static_cast<std::size_t>(n);
+  }
+  if (flags.count("--terminals-max")) {
+    cfg.terminals_max = static_cast<std::size_t>(
+        NumericFlag(flags, "--terminals-max"));
+    if (cfg.terminals_max < cfg.terminals_min) {
+      throw CliError("--terminals-max must be >= --terminals-min");
+    }
+  }
+  if (flags.count("--grid")) {
+    cfg.net.grid_um =
+        static_cast<std::int64_t>(NumericFlag(flags, "--grid"));
+  }
+  if (flags.count("--required-factor")) {
+    const double f = NumericFlag(flags, "--required-factor");
+    if (f <= 0) throw CliError("--required-factor must be positive");
+    cfg.required_factor = f;
+  }
+  if (flags.count("--multi-source")) {
+    const double f = NumericFlag(flags, "--multi-source");
+    if (f < 0 || f > 1) throw CliError("--multi-source must be in [0, 1]");
+    cfg.multi_source_fraction = f;
+  }
+  const Technology tech = DefaultTechnology();
+  const sta::Design design = GenerateDesign(cfg, tech);
+  const std::string msd = WriteDesignFiles(design, flags.at("-o"));
+  std::size_t endpoints = 0;
+  for (const sta::DesignPort& p : design.ports) {
+    if (!p.is_input) ++endpoints;
+  }
+  std::cout << "wrote " << msd << ": " << design.nets.size() << " nets, "
+            << design.components.size() << " components, " << endpoints
+            << " endpoints\n";
+  return 0;
+}
+
+int CmdCloseTiming(int argc, char** argv) {
+  std::vector<std::string> pos;
+  const auto flags =
+      ParseFlags(argc, argv, 2, &pos,
+                 {"--jobs", "--max-iters", "--nets-per-iter",
+                  "--cache-dir", "--stats"});
+  MSN_CHECK_MSG(pos.size() == 1, "close-timing requires a .msd design");
+
+  sta::ClosureOptions opt;
+  if (flags.count("--jobs")) {
+    const double jobs = NumericFlag(flags, "--jobs");
+    if (jobs < 1) throw CliError("--jobs must be at least 1");
+    opt.jobs = static_cast<std::size_t>(jobs);
+  }
+  if (flags.count("--max-iters")) {
+    const double n = NumericFlag(flags, "--max-iters");
+    if (n < 1) throw CliError("--max-iters must be at least 1");
+    opt.max_iters = static_cast<std::size_t>(n);
+  }
+  if (flags.count("--nets-per-iter")) {
+    const double n = NumericFlag(flags, "--nets-per-iter");
+    if (n < 0) throw CliError("--nets-per-iter must be non-negative");
+    opt.nets_per_iter = static_cast<std::size_t>(n);
+  }
+  if (flags.count("--cache-dir")) {
+    const std::string& dir = flags.at("--cache-dir");
+    if (dir.empty()) throw CliError("--cache-dir needs a directory");
+    opt.cache_dir = dir;
+  }
+  const bool want_stats = flags.count("--stats") > 0;
+  if (want_stats && flags.at("--stats").empty()) {
+    throw CliError("close-timing --stats requires =FILE.json");
+  }
+
+  const Technology tech = DefaultTechnology();
+  sta::Design design;
+  try {
+    design = sta::LoadDesign(pos[0]);
+  } catch (const ParseError& e) {
+    throw CliError(pos[0] + ": " + e.what());
+  }
+
+  const sta::ClosureResult result = sta::CloseTiming(design, tech, opt);
+  // The report is the determinism contract: byte-identical at any
+  // --jobs (tests/sta_test.cc and the CI smoke step byte-compare it).
+  sta::WriteClosureReport(std::cout, result);
+
+  if (want_stats) {
+    const std::string& stats_path = flags.at("--stats");
+    std::ofstream out(stats_path);
+    if (!out.good()) throw CliError("cannot write '" + stats_path + "'");
+    sta::WriteClosureStatsJson(out, result, pos[0]);
+    // stderr, not stdout: stdout stays byte-comparable across runs.
+    std::cerr << "wrote " << stats_path << '\n';
+  }
+  for (const sta::NetClosure& n : result.nets) {
+    if (!n.error.empty()) return 1;  // Contained per-net DP failure.
+  }
+  return 0;
+}
+
 int CmdServe(int argc, char** argv) {
   std::vector<std::string> pos;
   const auto flags =
@@ -502,6 +641,8 @@ int main(int argc, char** argv) {
     if (cmd == "optimize") return CmdOptimize(argc, argv);
     if (cmd == "optimize-batch") return CmdOptimizeBatch(argc, argv);
     if (cmd == "render") return CmdRender(argc, argv);
+    if (cmd == "gen-design") return CmdGenDesign(argc, argv);
+    if (cmd == "close-timing") return CmdCloseTiming(argc, argv);
     if (cmd == "serve") return CmdServe(argc, argv);
   } catch (const UsageError& e) {
     std::cerr << "error: " << e.what() << '\n';
