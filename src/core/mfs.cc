@@ -1,6 +1,7 @@
 #include "core/mfs.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/numeric.h"
 
@@ -18,12 +19,34 @@ void SortByCostCap(SolutionSet& set) {
 }
 
 /// All-pairs pruning over `set`, in place; dead entries become nullptr.
+/// Precondition: entries are non-null and sorted by (cost, cap) — callers
+/// sort before pruning, and divide-and-conquer slices of a sorted set
+/// stay sorted.  PruneByDominance tests cost before anything else, so a
+/// dominator i can never prune a victim j with cost[j] < cost[i] - eps;
+/// the sort makes those victims a prefix of each row, skipped wholesale
+/// without running the test (predictive pruning — the skip is decided
+/// from the sort invariant, not from the comparison itself).
 void PairwisePrune(SolutionSet& set, const MfsOptions& options,
                    MfsStats* stats) {
-  for (std::size_t i = 0; i < set.size(); ++i) {
+  const std::size_t n = set.size();
+  // Cost column snapshot: victims nulled mid-loop keep their slot's role
+  // in the ordering, so the prefix threshold stays well defined.
+  std::vector<double> cost(n);
+  for (std::size_t i = 0; i < n; ++i) cost[i] = set[i]->cost;
+  const double cost_eps = options.CostEps();
+  std::size_t lo = 0;  // first j that row i could possibly prune
+  for (std::size_t i = 0; i < n; ++i) {
+    while (lo < n && cost[lo] < cost[i] - cost_eps) ++lo;
     if (!set[i]) continue;
-    for (std::size_t j = 0; j < set.size(); ++j) {
-      if (i == j || !set[j] || !set[i]) continue;
+    if (stats) {
+      // Tests the unsorted all-pairs loop would have run and lost on the
+      // cost check.  lo <= i, so j == i never lands in this prefix.
+      for (std::size_t j = 0; j < lo; ++j) {
+        if (set[j]) ++stats->predictive_skipped;
+      }
+    }
+    for (std::size_t j = lo; j < n; ++j) {
+      if (i == j || !set[j]) continue;
       if (stats) ++stats->comparisons;
       if (PruneByDominance(*set[i], *set[j], options, stats)) {
         if (stats) ++stats->pruned;
@@ -35,14 +58,24 @@ void PairwisePrune(SolutionSet& set, const MfsOptions& options,
 
 void CrossPrune(SolutionSet& left, SolutionSet& right,
                 const MfsOptions& options, MfsStats* stats) {
+  const double cost_eps = options.CostEps();
   for (SolutionPtr& l : left) {
     if (!l) continue;
     for (SolutionPtr& r : right) {
-      if (!r || !l) break;
+      if (!l) break;       // l was just pruned by some r; row is done
+      if (!r) continue;    // already-pruned slot; later slots may be live
       if (stats) ++stats->comparisons;
       if (PruneByDominance(*l, *r, options, stats)) {
         if (stats) ++stats->pruned;
         r = nullptr;
+        continue;
+      }
+      // Every left cost <= every right cost (the recursion splits a
+      // (cost, cap)-sorted set and never reorders), so r can undercut l
+      // on cost only inside the eps band; outside it the reverse test is
+      // decided by the sort invariant without running.
+      if (r->cost > l->cost + cost_eps) {
+        if (stats) ++stats->predictive_skipped;
         continue;
       }
       if (stats) ++stats->comparisons;
@@ -155,6 +188,8 @@ SolutionSet ComputeMfs(SolutionSet set, const MfsOptions& options,
     sink->mfs_candidates_in->Add(candidates_in);
     sink->mfs_candidates_out->Add(set.size());
     sink->mfs_comparisons->Add(stats->comparisons - before.comparisons);
+    sink->mfs_predictive_skipped->Add(stats->predictive_skipped -
+                                      before.predictive_skipped);
     sink->mfs_pruned_full->Add(stats->pruned - before.pruned);
     sink->mfs_pruned_partial->Add(stats->pruned_partial -
                                   before.pruned_partial);

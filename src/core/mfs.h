@@ -65,6 +65,13 @@ struct MfsStats {
   std::size_t candidates_in = 0;   ///< Solutions entering the pruner.
   std::size_t candidates_out = 0;  ///< Survivors after pruning.
   std::size_t comparisons = 0;  ///< Pairwise dominance tests performed.
+  /// Dominance tests decided by the (cost, cap) sort invariant alone —
+  /// the would-be dominator out-costs the victim beyond eps — and
+  /// therefore skipped without running.  Always <= comparisons: each
+  /// skipped (i, j) has its mirror test (j, i) performed while both
+  /// entries were still alive, and at most one orientation of a pair can
+  /// ever be skipped.
+  std::size_t predictive_skipped = 0;
   std::size_t pruned = 0;       ///< Solutions fully invalidated.
   std::size_t pruned_partial = 0;  ///< Partial-domain prunes (valid shrank
                                    ///< without emptying).

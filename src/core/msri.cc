@@ -183,13 +183,51 @@ SolutionSet JoinSets(Context& ctx, NodeId v, const SolutionSet& s1set,
     // bounds cancellation latency on big nets (one s2 sweep at most).
     ctx.options.cancel.Check();
     for (const SolutionPtr& s2 : s2set) {
+      ++ctx.stats->join_candidates;
       // Terminals across the two subtrees would pair with odd polarity;
       // no repeater above the join can fix that, so drop immediately.
-      if (s1->parity != s2->parity) continue;
+      if (s1->parity != s2->parity) {
+        ++ctx.stats->join_pruned_early;
+        continue;
+      }
+      // Bounding-range reject: both shifted validity sets live inside
+      // [max(0, lo - cap), hi - cap).  If those ranges miss each other (or
+      // clip away entirely), the full Shift/Intersect below — two interval
+      // vectors plus a merge — is guaranteed to come back empty, so skip
+      // it.  Same pair outcome and the same solutions_generated bump the
+      // materialized empty intersection would have produced.
+      const double a_hi = s1->valid.Intervals().back().hi - s2->cap;
+      const double b_hi = s2->valid.Intervals().back().hi - s1->cap;
+      const double a_lo =
+          std::max(0.0, s1->valid.Intervals().front().lo - s2->cap);
+      const double b_lo =
+          std::max(0.0, s2->valid.Intervals().front().lo - s1->cap);
+      if (a_hi <= a_lo || b_hi <= b_lo || a_hi <= b_lo || b_hi <= a_lo) {
+        ++ctx.stats->solutions_generated;
+        ++ctx.stats->join_pruned_early;
+        continue;
+      }
       IntervalSet valid =
           s1->valid.Shift(-s2->cap).Intersect(s2->valid.Shift(-s1->cap));
       ++ctx.stats->solutions_generated;
-      if (valid.Empty()) continue;
+      if (valid.Empty()) {
+        ++ctx.stats->join_pruned_early;
+        continue;
+      }
+      // Stage-length feasibility needs only the predecessors' scalars, so
+      // test it before the expensive PWL max/cross-term construction.
+      double stage_span = 0.0;
+      double stage_diam = 0.0;
+      if (ctx.options.max_stage_length_um > 0.0) {
+        stage_span = std::max(s1->stage_span_um, s2->stage_span_um);
+        stage_diam = std::max({s1->stage_diam_um, s2->stage_diam_um,
+                               s1->stage_span_um + s2->stage_span_um});
+        if (std::max(stage_span, stage_diam) >
+            ctx.options.max_stage_length_um) {
+          ++ctx.stats->join_pruned_early;
+          continue;
+        }
+      }
 
       auto j = std::make_shared<MsriSolution>();
       j->cost = s1->cost + s2->cost;
@@ -216,16 +254,8 @@ SolutionSet JoinSets(Context& ctx, NodeId v, const SolutionSet& s1set,
       }
       j->diam = std::move(diam);
       j->valid = std::move(valid);
-      if (ctx.options.max_stage_length_um > 0.0) {
-        j->stage_span_um = std::max(s1->stage_span_um, s2->stage_span_um);
-        j->stage_diam_um =
-            std::max({s1->stage_diam_um, s2->stage_diam_um,
-                      s1->stage_span_um + s2->stage_span_um});
-        if (std::max(j->stage_span_um, j->stage_diam_um) >
-            ctx.options.max_stage_length_um) {
-          continue;
-        }
-      }
+      j->stage_span_um = stage_span;
+      j->stage_diam_um = stage_diam;
       j->parity = s1->parity;
       j->kind = MsriSolution::Kind::kJoin;
       j->node = v;
@@ -313,6 +343,8 @@ SolutionSet ChildSolutions(Context& ctx, NodeId c) {
 /// totals are identical to a serial run's.
 void MergeStats(MsriStats& into, const MsriStats& from) {
   into.solutions_generated += from.solutions_generated;
+  into.join_candidates += from.join_candidates;
+  into.join_pruned_early += from.join_pruned_early;
   into.max_set_size = std::max(into.max_set_size, from.max_set_size);
   into.max_pwl_segments =
       std::max(into.max_pwl_segments, from.max_pwl_segments);
@@ -320,6 +352,7 @@ void MergeStats(MsriStats& into, const MsriStats& from) {
   into.mfs.candidates_in += from.mfs.candidates_in;
   into.mfs.candidates_out += from.mfs.candidates_out;
   into.mfs.comparisons += from.mfs.comparisons;
+  into.mfs.predictive_skipped += from.mfs.predictive_skipped;
   into.mfs.pruned += from.mfs.pruned;
   into.mfs.pruned_partial += from.mfs.pruned_partial;
 }
@@ -670,6 +703,8 @@ MsriResult RunMsri(const RcTree& tree, const Technology& tech,
   }
   if (ctx.sink != nullptr) {
     ctx.sink->msri_solutions->Add(result.stats_.solutions_generated);
+    ctx.sink->msri_join_candidates->Add(result.stats_.join_candidates);
+    ctx.sink->msri_join_pruned_early->Add(result.stats_.join_pruned_early);
     obs::RunStats& reg = ctx.sink->Registry();
     reg.SetValue("msri.pareto_points",
                  static_cast<double>(result.pareto_.size()));

@@ -140,6 +140,13 @@ struct TradeoffPoint {
 
 struct MsriStats {
   std::size_t solutions_generated = 0;
+  /// (s1, s2) pairs the JoinSets cross product visited.
+  std::size_t join_candidates = 0;
+  /// Pairs discarded before their PWL curves were materialized: parity
+  /// mismatch, provably-empty validity overlap (bounding-range reject),
+  /// empty validity intersection, or stage-length violation.  Always
+  /// <= join_candidates.
+  std::size_t join_pruned_early = 0;
   std::size_t max_set_size = 0;       ///< Largest per-node set after MFS.
   std::size_t max_pwl_segments = 0;   ///< Largest PWL encountered.
   MfsStats mfs;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <ostream>
+#include <vector>
 
 #include "common/check.h"
 #include "obs/stats.h"
@@ -10,23 +11,41 @@
 namespace msn {
 namespace {
 
-/// Merged, deduplicated breakpoints of two non-bottom functions.
-std::vector<double> MergedBreakpoints(const Pwl& f, const Pwl& g) {
-  std::vector<double> xs;
-  xs.reserve(f.NumSegments() + g.NumSegments());
-  for (const PwlSegment& s : f.Segments()) xs.push_back(s.x_lo);
-  for (const PwlSegment& s : g.Segments()) xs.push_back(s.x_lo);
-  std::sort(xs.begin(), xs.end());
-  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
-  return xs;
+/// Relative tolerance for merging segments whose parameters (or widths)
+/// differ only by accumulated rounding noise.  Deliberately far tighter
+/// than kEps (1e-9, the dominance slack): merging is a representation
+/// choice, not an approximation, so it must stay well below anything the
+/// DP's comparisons can see.  Doubles carry ~2.2e-16 of relative error
+/// per operation; 1e-12 absorbs thousands of accumulated ulps while
+/// staying three orders of magnitude below the decision epsilons.
+constexpr double kMergeEps = 1e-12;
+
+bool MergeEq(double a, double b) {
+  return std::fabs(a - b) <=
+         kMergeEps * std::max({1.0, std::fabs(a), std::fabs(b)});
 }
 
-void AppendSegment(std::vector<PwlSegment>& out, PwlSegment seg) {
-  if (!out.empty() && out.back().intercept == seg.intercept &&
-      out.back().slope == seg.slope) {
-    return;  // Extends the previous segment; nothing to add.
+/// Appends a segment, merging noise: parameters equal to the previous
+/// segment's within kMergeEps extend it, and a breakpoint epsilon-close
+/// to the previous one collapses the near-zero-width sliver the previous
+/// segment would have been (the new parameters win, the earlier x_lo is
+/// kept — so the leading x_lo == 0 invariant is preserved).  Slivers
+/// arise when two inputs carry breakpoints that drifted apart by
+/// rounding; merging them exactly (the old std::unique behaviour) let
+/// segment counts inflate through the whole DP.
+void AppendTo(PwlStore& out, double x_lo, double intercept, double slope) {
+  if (!out.Empty()) {
+    const std::size_t last = out.Size() - 1;
+    if (MergeEq(out.Intercept()[last], intercept) &&
+        MergeEq(out.Slope()[last], slope)) {
+      return;  // Extends the previous segment; nothing to add.
+    }
+    if (MergeEq(out.XLo()[last], x_lo)) {
+      out.ReplaceBackParams(intercept, slope);
+      return;
+    }
   }
-  out.push_back(seg);
+  out.Append(x_lo, intercept, slope);
 }
 
 }  // namespace
@@ -34,60 +53,66 @@ void AppendSegment(std::vector<PwlSegment>& out, PwlSegment seg) {
 Pwl Pwl::Constant(double v) { return Line(v, 0.0); }
 
 Pwl Pwl::Line(double intercept, double slope) {
-  return Pwl({PwlSegment{0.0, intercept, slope}});
+  Pwl f;
+  f.store_.Append(0.0, intercept, slope);
+  return f;
 }
 
 std::size_t Pwl::SegmentIndexAt(double x) const {
-  MSN_DCHECK(!segments_.empty());
-  // Last segment whose x_lo <= x.
-  auto it = std::upper_bound(
-      segments_.begin(), segments_.end(), x,
-      [](double v, const PwlSegment& s) { return v < s.x_lo; });
-  MSN_DCHECK(it != segments_.begin());
-  return static_cast<std::size_t>(std::distance(segments_.begin(), it)) - 1;
+  MSN_DCHECK(!store_.Empty());
+  // Last segment whose x_lo <= x; only the x column is touched.
+  const double* first = store_.XLo();
+  const double* last = first + store_.Size();
+  const double* it = std::upper_bound(first, last, x);
+  MSN_DCHECK(it != first);
+  return static_cast<std::size_t>(it - first) - 1;
 }
 
 double Pwl::Eval(double x) const {
   MSN_CHECK_MSG(x >= 0.0, "Pwl evaluated at negative x = " << x);
-  if (segments_.empty()) return -kInf;
-  return segments_[SegmentIndexAt(x)].ValueAt(x);
+  if (store_.Empty()) return -kInf;
+  const std::size_t i = SegmentIndexAt(x);
+  return store_.Intercept()[i] + store_.Slope()[i] * x;
 }
 
 Pwl& Pwl::AddScalar(double s) {
-  for (PwlSegment& seg : segments_) seg.intercept += s;
-  obs::RecordPwl(obs::PwlPrimitive::kAddScalar, segments_.size());
+  double* b = store_.MutableIntercept();
+  const std::size_t n = store_.Size();
+  for (std::size_t i = 0; i < n; ++i) b[i] += s;
+  obs::RecordPwl(obs::PwlPrimitive::kAddScalar, n);
   return *this;
 }
 
 Pwl& Pwl::AddSlope(double m) {
-  for (PwlSegment& seg : segments_) seg.slope += m;
-  obs::RecordPwl(obs::PwlPrimitive::kAddSlope, segments_.size());
+  double* s = store_.MutableSlope();
+  const std::size_t n = store_.Size();
+  for (std::size_t i = 0; i < n; ++i) s[i] += m;
+  obs::RecordPwl(obs::PwlPrimitive::kAddSlope, n);
   return *this;
 }
 
 Pwl Pwl::Shifted(double delta) const {
   MSN_CHECK_MSG(delta >= 0.0, "Pwl shift by negative delta = " << delta);
-  if (segments_.empty() || delta == 0.0) {
-    obs::RecordPwl(obs::PwlPrimitive::kShift, segments_.size());
+  if (store_.Empty() || delta == 0.0) {
+    obs::RecordPwl(obs::PwlPrimitive::kShift, store_.Size());
     return *this;
   }
-  std::vector<PwlSegment> out;
-  out.reserve(segments_.size());
-  for (std::size_t i = 0; i < segments_.size(); ++i) {
-    const PwlSegment& s = segments_[i];
-    const double x_hi =
-        i + 1 < segments_.size() ? segments_[i + 1].x_lo : kInf;
+  const std::size_t n = store_.Size();
+  const double* x = store_.XLo();
+  const double* b = store_.Intercept();
+  const double* m = store_.Slope();
+  Pwl out;
+  out.store_.Reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x_hi = i + 1 < n ? x[i + 1] : kInf;
     if (x_hi <= delta) continue;  // Entirely left of the new origin.
-    PwlSegment t;
-    t.x_lo = std::max(0.0, s.x_lo - delta);
     // g(x) = f(x + delta) = (intercept + slope*delta) + slope*x.
-    t.intercept = s.intercept + s.slope * delta;
-    t.slope = s.slope;
-    AppendSegment(out, t);
+    AppendTo(out.store_, std::max(0.0, x[i] - delta), b[i] + m[i] * delta,
+             m[i]);
   }
-  MSN_DCHECK(!out.empty() && out.front().x_lo == 0.0);
-  obs::RecordPwl(obs::PwlPrimitive::kShift, out.size());
-  return Pwl(std::move(out));
+  MSN_DCHECK(!out.store_.Empty() && out.store_.XLo()[0] == 0.0);
+  obs::RecordPwl(obs::PwlPrimitive::kShift, out.store_.Size());
+  return out;
 }
 
 Pwl Pwl::Max(const Pwl& f, const Pwl& g) {
@@ -100,99 +125,145 @@ Pwl Pwl::Max(const Pwl& f, const Pwl& g) {
     return f;
   }
 
-  const std::vector<double> xs = MergedBreakpoints(f, g);
-  std::vector<PwlSegment> out;
-  out.reserve(xs.size() + 2);
+  const std::size_t nf = f.store_.Size();
+  const std::size_t ng = g.store_.Size();
+  const double* fx = f.store_.XLo();
+  const double* fb = f.store_.Intercept();
+  const double* fm = f.store_.Slope();
+  const double* gx = g.store_.XLo();
+  const double* gb = g.store_.Intercept();
+  const double* gm = g.store_.Slope();
 
-  for (std::size_t k = 0; k < xs.size(); ++k) {
-    const double a = xs[k];
-    const double b = k + 1 < xs.size() ? xs[k + 1] : kInf;
-    const PwlSegment& sf = f.segments_[f.SegmentIndexAt(a)];
-    const PwlSegment& sg = g.segments_[g.SegmentIndexAt(a)];
-    const double di = sf.intercept - sg.intercept;
-    const double ds = sf.slope - sg.slope;
+  Pwl out;
+  out.store_.Reserve(nf + ng + 2);
+
+  // Two-pointer sweep over the union of breakpoints: [a, b) is always an
+  // interval on which both inputs are single lines (i and j index the
+  // covering segments).  Both functions start at x_lo == 0.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double a = 0.0;
+  for (;;) {
+    const double next_f = i + 1 < nf ? fx[i + 1] : kInf;
+    const double next_g = j + 1 < ng ? gx[j + 1] : kInf;
+    const double b = std::min(next_f, next_g);
+
+    const double di = fb[i] - gb[j];
+    const double ds = fm[i] - gm[j];
     // d(x) = di + ds*x is f - g on [a, b).
     double xc = kInf;
     if (ds != 0.0) xc = -di / ds;
 
-    auto winner_at = [&](double x0, double x1) -> const PwlSegment& {
+    const auto append_winner_at = [&](double x0, double x1, double from) {
       // Decide by the value at the midpoint (or at x0 + 1 when unbounded).
       const double mid = std::isinf(x1) ? x0 + 1.0 : (x0 + x1) / 2.0;
-      return di + ds * mid >= 0.0 ? sf : sg;
+      if (di + ds * mid >= 0.0) {
+        AppendTo(out.store_, from, fb[i], fm[i]);
+      } else {
+        AppendTo(out.store_, from, gb[j], gm[j]);
+      }
     };
 
     if (xc > a && xc < b) {
-      const PwlSegment& w1 = winner_at(a, xc);
-      AppendSegment(out, {a, w1.intercept, w1.slope});
-      const PwlSegment& w2 = winner_at(xc, b);
-      AppendSegment(out, {xc, w2.intercept, w2.slope});
+      append_winner_at(a, xc, a);
+      append_winner_at(xc, b, xc);
     } else {
-      const PwlSegment& w = winner_at(a, b);
-      AppendSegment(out, {a, w.intercept, w.slope});
+      append_winner_at(a, b, a);
     }
+
+    if (std::isinf(b)) break;
+    a = b;
+    if (next_f == b) ++i;
+    if (next_g == b) ++j;
   }
-  obs::RecordPwl(obs::PwlPrimitive::kMax, out.size());
-  return Pwl(std::move(out));
+  obs::RecordPwl(obs::PwlPrimitive::kMax, out.store_.Size());
+  return out;
 }
 
 IntervalSet Pwl::RegionLessEqual(const Pwl& g, double eps) const {
   if (IsNegInf()) return IntervalSet::NonNegativeReals();
   if (g.IsNegInf()) return IntervalSet();
 
+  const std::size_t nf = store_.Size();
+  const std::size_t ng = g.store_.Size();
+  const double* fx = store_.XLo();
+  const double* fb = store_.Intercept();
+  const double* fm = store_.Slope();
+  const double* gx = g.store_.XLo();
+  const double* gb = g.store_.Intercept();
+  const double* gm = g.store_.Slope();
+
   std::vector<Interval> where;
-  const std::vector<double> xs = MergedBreakpoints(*this, g);
-  for (std::size_t k = 0; k < xs.size(); ++k) {
-    const double a = xs[k];
-    const double b = k + 1 < xs.size() ? xs[k + 1] : kInf;
-    const PwlSegment& sf = segments_[SegmentIndexAt(a)];
-    const PwlSegment& sg = g.segments_[g.SegmentIndexAt(a)];
+  // Same two-pointer sweep as Max; the region endpoints must stay exactly
+  // the crossover coordinates dominance pruning computed before the SoA
+  // rework, so no merge epsilon is applied here.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double a = 0.0;
+  for (;;) {
+    const double next_f = i + 1 < nf ? fx[i + 1] : kInf;
+    const double next_g = j + 1 < ng ? gx[j + 1] : kInf;
+    const double b = std::min(next_f, next_g);
+
     // Condition: (f - g - eps)(x) = di + ds*x <= 0 on [a, b).
-    const double di = sf.intercept - sg.intercept - eps;
-    const double ds = sf.slope - sg.slope;
+    const double di = fb[i] - gb[j] - eps;
+    const double ds = fm[i] - gm[j];
     if (ds == 0.0) {
       if (di <= 0.0) where.push_back({a, b});
-      continue;
-    }
-    const double xc = -di / ds;
-    if (ds > 0.0) {
-      // Satisfied for x <= xc.
-      const double hi = std::min(b, xc);
-      if (a < hi) where.push_back({a, hi});
     } else {
-      // Satisfied for x >= xc.
-      const double lo = std::max(a, xc);
-      if (lo < b) where.push_back({lo, b});
+      const double xc = -di / ds;
+      if (ds > 0.0) {
+        // Satisfied for x <= xc.
+        const double hi = std::min(b, xc);
+        if (a < hi) where.push_back({a, hi});
+      } else {
+        // Satisfied for x >= xc.
+        const double lo = std::max(a, xc);
+        if (lo < b) where.push_back({lo, b});
+      }
     }
+
+    if (std::isinf(b)) break;
+    a = b;
+    if (next_f == b) ++i;
+    if (next_g == b) ++j;
   }
   return IntervalSet(std::move(where));
 }
 
 void Pwl::Simplify(double eps) {
-  if (segments_.size() < 2) return;
-  std::vector<PwlSegment> out;
-  out.reserve(segments_.size());
-  out.push_back(segments_.front());
-  for (std::size_t i = 1; i < segments_.size(); ++i) {
-    const PwlSegment& s = segments_[i];
-    if (ApproxEq(out.back().intercept, s.intercept, eps) &&
-        ApproxEq(out.back().slope, s.slope, eps)) {
+  if (store_.Size() < 2) return;
+  const std::size_t n = store_.Size();
+  const double* x = store_.XLo();
+  const double* b = store_.Intercept();
+  const double* m = store_.Slope();
+  PwlStore out;
+  out.Reserve(n);
+  out.Append(x[0], b[0], m[0]);
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t last = out.Size() - 1;
+    if (ApproxEq(out.Intercept()[last], b[i], eps) &&
+        ApproxEq(out.Slope()[last], m[i], eps)) {
       continue;
     }
-    out.push_back(s);
+    out.Append(x[i], b[i], m[i]);
   }
-  segments_ = std::move(out);
+  store_ = std::move(out);
 }
 
 bool Pwl::IsConvexNonDecreasing(double eps) const {
-  for (std::size_t i = 0; i < segments_.size(); ++i) {
-    if (segments_[i].slope < -eps) return false;
+  const std::size_t n = store_.Size();
+  const double* x = store_.XLo();
+  const double* b = store_.Intercept();
+  const double* m = store_.Slope();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (m[i] < -eps) return false;
     if (i == 0) continue;
     // Convexity: slopes non-decreasing.
-    if (segments_[i].slope < segments_[i - 1].slope - eps) return false;
+    if (m[i] < m[i - 1] - eps) return false;
     // Continuity at the breakpoint.
-    const double x = segments_[i].x_lo;
-    if (!ApproxEq(segments_[i].ValueAt(x), segments_[i - 1].ValueAt(x),
-                  std::max(eps, eps * std::fabs(x)))) {
+    if (!ApproxEq(b[i] + m[i] * x[i], b[i - 1] + m[i - 1] * x[i],
+                  std::max(eps, eps * std::fabs(x[i])))) {
       return false;
     }
   }
@@ -201,7 +272,12 @@ bool Pwl::IsConvexNonDecreasing(double eps) const {
 
 bool Pwl::ApproxEqual(const Pwl& f, const Pwl& g, double eps) {
   if (f.IsNegInf() || g.IsNegInf()) return f.IsNegInf() == g.IsNegInf();
-  const std::vector<double> xs = MergedBreakpoints(f, g);
+  std::vector<double> xs;
+  xs.reserve(f.NumSegments() + g.NumSegments());
+  xs.insert(xs.end(), f.store_.XLo(), f.store_.XLo() + f.store_.Size());
+  xs.insert(xs.end(), g.store_.XLo(), g.store_.XLo() + g.store_.Size());
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
   for (std::size_t k = 0; k < xs.size(); ++k) {
     const double a = xs[k];
     const double b = k + 1 < xs.size() ? xs[k + 1] : a + 2.0;
@@ -210,17 +286,18 @@ bool Pwl::ApproxEqual(const Pwl& f, const Pwl& g, double eps) {
     if (!ApproxEq(f.Eval(mid), g.Eval(mid), eps)) return false;
   }
   // Tail behaviour: slopes of the last segments must agree.
-  return ApproxEq(f.segments_.back().slope, g.segments_.back().slope, eps);
+  return ApproxEq(f.store_.Slope()[f.store_.Size() - 1],
+                  g.store_.Slope()[g.store_.Size() - 1], eps);
 }
 
 std::ostream& operator<<(std::ostream& os, const Pwl& f) {
   if (f.IsNegInf()) return os << "{-inf}";
   os << '{';
-  const auto& segs = f.Segments();
+  const Pwl::SegmentView segs = f.Segments();
   for (std::size_t i = 0; i < segs.size(); ++i) {
     if (i) os << ", ";
-    os << "x>=" << segs[i].x_lo << ": " << segs[i].intercept << '+'
-       << segs[i].slope << "x";
+    const PwlSegment s = segs[i];
+    os << "x>=" << s.x_lo << ": " << s.intercept << '+' << s.slope << "x";
   }
   return os << '}';
 }

@@ -14,7 +14,15 @@
 //   AddSlope   — add m·x (accumulating upstream resistance),
 //   Shifted    — substitute x -> x + delta (re-expressing a child's
 //                function after the external world gains delta pF).
-// All run in time linear in the number of participating segments.
+// All run in time linear in the number of participating segments: Max and
+// RegionLessEqual walk both inputs with two pointers instead of
+// binary-searching per merged breakpoint.
+//
+// Storage is a flat structure-of-arrays arena (PwlStore, pwl_arena.h):
+// the x_lo / intercept / slope coordinates live in three contiguous
+// spans, small functions entirely inline.  AddScalar and AddSlope are
+// unit-stride loops over one span; Segments() adapts the columns back
+// into PwlSegment values for tests and printing.
 //
 // In this DP every Pwl is convex and non-decreasing (maxima of lines under
 // the primitives above stay convex), which keeps segment counts small in
@@ -25,10 +33,10 @@
 
 #include <cstddef>
 #include <iosfwd>
-#include <vector>
 
 #include "common/interval_set.h"
 #include "common/numeric.h"
+#include "core/pwl_arena.h"
 
 namespace msn {
 
@@ -46,6 +54,20 @@ struct PwlSegment {
 
 class Pwl {
  public:
+  /// Indexable view adapting the SoA columns back into PwlSegment values
+  /// (tests and printing; the hot paths read the columns directly).
+  class SegmentView {
+   public:
+    explicit SegmentView(const PwlStore* store) : store_(store) {}
+    std::size_t size() const { return store_->Size(); }
+    PwlSegment operator[](std::size_t i) const {
+      return {store_->XLo()[i], store_->Intercept()[i], store_->Slope()[i]};
+    }
+
+   private:
+    const PwlStore* store_;
+  };
+
   /// The identically -inf function.
   Pwl() = default;
 
@@ -57,9 +79,9 @@ class Pwl {
 
   static Pwl NegInf() { return Pwl(); }
 
-  bool IsNegInf() const { return segments_.empty(); }
-  std::size_t NumSegments() const { return segments_.size(); }
-  const std::vector<PwlSegment>& Segments() const { return segments_; }
+  bool IsNegInf() const { return store_.Empty(); }
+  std::size_t NumSegments() const { return store_.Size(); }
+  SegmentView Segments() const { return SegmentView(&store_); }
 
   /// f(x); x must be >= 0 (checked).  -inf for the bottom function.
   double Eval(double x) const;
@@ -92,15 +114,10 @@ class Pwl {
   static bool ApproxEqual(const Pwl& f, const Pwl& g, double eps = kEps);
 
  private:
-  /// Constructs from raw segments; callers guarantee canonical form
-  /// (first x_lo == 0, strictly increasing, non-empty or fully empty).
-  explicit Pwl(std::vector<PwlSegment> segments)
-      : segments_(std::move(segments)) {}
-
   /// The segment covering x (index).  Requires non-empty.
   std::size_t SegmentIndexAt(double x) const;
 
-  std::vector<PwlSegment> segments_;
+  PwlStore store_;
 };
 
 std::ostream& operator<<(std::ostream& os, const Pwl& f);

@@ -1,0 +1,187 @@
+// Flat structure-of-arrays breakpoint storage backing Pwl (see pwl.h).
+//
+// A PwlStore holds the n segments of one piece-wise linear function as
+// three contiguous coordinate arrays — x_lo[0..n), intercept[0..n),
+// slope[0..n) — inside a single allocation, instead of the former
+// std::vector<PwlSegment> array-of-structs.  The layout is chosen for the
+// eq. (3) primitives, the DP's innermost hot loop:
+//
+//   * AddScalar touches only the intercept span and AddSlope only the
+//     slope span: unit-stride streaming loops over doubles that the
+//     compiler auto-vectorizes (the AoS layout strode over 24-byte
+//     structs and could not).
+//   * Eval binary-searches only the x_lo span — 3x the useful
+//     breakpoints per cache line compared to the AoS layout.
+//   * Max and RegionLessEqual walk two functions with two pointers over
+//     the x_lo spans and never binary-search (see pwl.cc).
+//
+// Functions with at most kInlineSegments segments — the overwhelmingly
+// common case in this DP: arrival lines from leaves and repeaters,
+// constant diameters, and the few-segment maxima that convexity keeps
+// small — live entirely inside the object (an inline arena) and never
+// touch the heap.  Larger functions spill into one malloc'd block laid
+// out [x | intercept | slope].  The former representation paid one heap
+// vector per Pwl unconditionally, plus two transient allocations per
+// Pwl::Max call.
+#ifndef MSN_CORE_PWL_ARENA_H
+#define MSN_CORE_PWL_ARENA_H
+
+#include <algorithm>
+#include <cstddef>
+#include <new>
+
+namespace msn {
+
+class PwlStore {
+ public:
+  /// Segments stored inline, without heap involvement.  Four covers
+  /// every line/constant plus the small maxima convexity produces.
+  static constexpr std::size_t kInlineSegments = 4;
+
+  // User-provided (not `= default`) so `const Pwl f;` stays legal: the
+  // inline buffer is deliberately left uninitialized (only [0, size_)
+  // is ever read), which would otherwise make the class not
+  // const-default-constructible.
+  PwlStore() {}
+
+  PwlStore(const PwlStore& other) { CopyFrom(other); }
+
+  PwlStore(PwlStore&& other) noexcept { MoveFrom(other); }
+
+  PwlStore& operator=(const PwlStore& other) {
+    if (this != &other) {
+      Release();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  PwlStore& operator=(PwlStore&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  ~PwlStore() { Release(); }
+
+  std::size_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+  // The three coordinate spans, each `Size()` long and contiguous.
+  const double* XLo() const { return x_; }
+  const double* Intercept() const { return b_; }
+  const double* Slope() const { return m_; }
+  double* MutableIntercept() { return b_; }
+  double* MutableSlope() { return m_; }
+
+  void Clear() { size_ = 0; }
+
+  /// Pre-sizes the backing block so subsequent Append calls up to `n`
+  /// segments never reallocate (hot paths reserve the worst case once).
+  void Reserve(std::size_t n) {
+    if (n > cap_) Grow(n);
+  }
+
+  void Append(double x_lo, double intercept, double slope) {
+    if (size_ == cap_) Grow(size_ + 1);
+    x_[size_] = x_lo;
+    b_[size_] = intercept;
+    m_[size_] = slope;
+    ++size_;
+  }
+
+  /// Rewrites the last segment's line parameters in place, keeping its
+  /// x_lo — the sliver-collapse path of pwl.cc's AppendSegment.
+  void ReplaceBackParams(double intercept, double slope) {
+    b_[size_ - 1] = intercept;
+    m_[size_ - 1] = slope;
+  }
+
+  void PopBack() { --size_; }
+
+ private:
+  void CopyFrom(const PwlStore& other) {
+    size_ = other.size_;
+    if (other.heap_ != nullptr && other.size_ > kInlineSegments) {
+      cap_ = other.size_;
+      heap_ = new double[3 * cap_];
+      x_ = heap_;
+      b_ = heap_ + cap_;
+      m_ = heap_ + 2 * cap_;
+    } else {
+      cap_ = kInlineSegments;
+      heap_ = nullptr;
+      x_ = inline_;
+      b_ = inline_ + kInlineSegments;
+      m_ = inline_ + 2 * kInlineSegments;
+    }
+    std::copy_n(other.x_, size_, x_);
+    std::copy_n(other.b_, size_, b_);
+    std::copy_n(other.m_, size_, m_);
+  }
+
+  void MoveFrom(PwlStore& other) noexcept {
+    size_ = other.size_;
+    if (other.heap_ != nullptr) {
+      cap_ = other.cap_;
+      heap_ = other.heap_;
+      x_ = other.x_;
+      b_ = other.b_;
+      m_ = other.m_;
+      other.heap_ = nullptr;
+      other.cap_ = kInlineSegments;
+      other.x_ = other.inline_;
+      other.b_ = other.inline_ + kInlineSegments;
+      other.m_ = other.inline_ + 2 * kInlineSegments;
+      other.size_ = 0;
+    } else {
+      cap_ = kInlineSegments;
+      heap_ = nullptr;
+      x_ = inline_;
+      b_ = inline_ + kInlineSegments;
+      m_ = inline_ + 2 * kInlineSegments;
+      std::copy_n(other.x_, size_, x_);
+      std::copy_n(other.b_, size_, b_);
+      std::copy_n(other.m_, size_, m_);
+      other.size_ = 0;
+    }
+  }
+
+  void Release() {
+    delete[] heap_;
+    heap_ = nullptr;
+    cap_ = kInlineSegments;
+    x_ = inline_;
+    b_ = inline_ + kInlineSegments;
+    m_ = inline_ + 2 * kInlineSegments;
+    size_ = 0;
+  }
+
+  void Grow(std::size_t min_cap) {
+    const std::size_t new_cap = std::max(min_cap, 2 * cap_);
+    double* block = new double[3 * new_cap];
+    std::copy_n(x_, size_, block);
+    std::copy_n(b_, size_, block + new_cap);
+    std::copy_n(m_, size_, block + 2 * new_cap);
+    delete[] heap_;
+    heap_ = block;
+    cap_ = new_cap;
+    x_ = block;
+    b_ = block + new_cap;
+    m_ = block + 2 * new_cap;
+  }
+
+  std::size_t size_ = 0;
+  std::size_t cap_ = kInlineSegments;
+  double* x_ = inline_;
+  double* b_ = inline_ + kInlineSegments;
+  double* m_ = inline_ + 2 * kInlineSegments;
+  double* heap_ = nullptr;
+  double inline_[3 * kInlineSegments];
+};
+
+}  // namespace msn
+
+#endif  // MSN_CORE_PWL_ARENA_H

@@ -206,6 +206,8 @@ StatsSink::StatsSink(RunStats* registry) : registry_(registry) {
   msri_root = &registry->GetTimer("msri.root");
   msri_total = &registry->GetTimer("msri.total");
   msri_solutions = &registry->GetCounter("msri.solutions_generated");
+  msri_join_candidates = &registry->GetCounter("msri.join_candidates");
+  msri_join_pruned_early = &registry->GetCounter("msri.join_pruned_early");
   msri_set_size = &registry->GetHistogram("msri.set_size");
 
   mfs_time = &registry->GetTimer("mfs.time");
@@ -213,6 +215,7 @@ StatsSink::StatsSink(RunStats* registry) : registry_(registry) {
   mfs_candidates_in = &registry->GetCounter("mfs.candidates_in");
   mfs_candidates_out = &registry->GetCounter("mfs.candidates_out");
   mfs_comparisons = &registry->GetCounter("mfs.comparisons");
+  mfs_predictive_skipped = &registry->GetCounter("mfs.predictive_skipped");
   mfs_pruned_full = &registry->GetCounter("mfs.pruned_full");
   mfs_pruned_partial = &registry->GetCounter("mfs.pruned_partial");
 

@@ -221,6 +221,8 @@ class StatsSink {
   Timer* msri_root;
   Timer* msri_total;
   Counter* msri_solutions;     ///< Candidate solutions generated.
+  Counter* msri_join_candidates;    ///< (s1, s2) pairs JoinSets visited.
+  Counter* msri_join_pruned_early;  ///< Pairs dropped before PWL build.
   Histogram* msri_set_size;    ///< Per-node set sizes after MFS pruning.
 
   // MFS pruning (Def. 4.3): candidate flow and prune events.
@@ -229,6 +231,8 @@ class StatsSink {
   Counter* mfs_candidates_in;
   Counter* mfs_candidates_out;
   Counter* mfs_comparisons;
+  Counter* mfs_predictive_skipped;  ///< Tests decided by the (cost, cap)
+                                    ///< sort alone; always <= comparisons.
   Counter* mfs_pruned_full;     ///< Solutions fully invalidated.
   Counter* mfs_pruned_partial;  ///< Partial-domain prunes (valid shrank).
 

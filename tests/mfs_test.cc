@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "common/rng.h"
 
 namespace msn {
@@ -117,6 +120,149 @@ TEST(Mfs, DiamDimensionBlocksPruning) {
   EXPECT_FALSE(v->valid.Contains(3.0));
   EXPECT_TRUE(v->valid.Contains(4.0));
 }
+
+TEST(Mfs, CrossPruneSkipsNulledSlotsRegression) {
+  // Regression for the divide-and-conquer cross-prune early-exit: with
+  // base_case = 2 the set {c1/p5, c2/p1, c3/p6, c4/p2} (cost/cap, all
+  // other dimensions identical) splits into left {c1, c2} and right
+  // {c3, c4}, neither half prunes internally, and the cross pass goes:
+  //   c1 prunes c3 (cheaper, smaller cap)  -> right slot 0 nulled;
+  //   c2 must then prune c4 — but the old scan hit the nulled slot 0
+  //   first and aborted c2's whole row, so the dominated c4 survived.
+  auto build = [] {
+    SolutionSet set;
+    set.push_back(Make(1.0, 5.0, 0.0, Pwl::Constant(1.0), Pwl::NegInf()));
+    set.push_back(Make(2.0, 1.0, 0.0, Pwl::Constant(1.0), Pwl::NegInf()));
+    set.push_back(Make(3.0, 6.0, 0.0, Pwl::Constant(1.0), Pwl::NegInf()));
+    set.push_back(Make(4.0, 2.0, 0.0, Pwl::Constant(1.0), Pwl::NegInf()));
+    return set;
+  };
+  MfsOptions dc;
+  dc.mode = MfsOptions::Mode::kDivideConquer;
+  dc.base_case = 2;
+  const SolutionSet pruned = ComputeMfs(build(), dc);
+  ASSERT_EQ(pruned.size(), 2u);
+  EXPECT_DOUBLE_EQ(pruned[0]->cost, 1.0);
+  EXPECT_DOUBLE_EQ(pruned[1]->cost, 2.0);
+  // The quadratic mode agrees.
+  EXPECT_EQ(ComputeMfs(build(), Quadratic()).size(), 2u);
+}
+
+/// Asserts Definition 4.3 minimality: at no sampled external capacitance
+/// is one survivor strictly better than another (beyond `margin`) in all
+/// five dimensions while both claim validity there.  A violation means a
+/// dominance test was skipped that should have run.
+void ExpectMinimal(const SolutionSet& set, const std::vector<double>& xs,
+                   double margin) {
+  for (const SolutionPtr& a : set) {
+    for (const SolutionPtr& b : set) {
+      if (a == b) continue;
+      for (const double x : xs) {
+        if (!a->valid.Contains(x) || !b->valid.Contains(x)) continue;
+        const bool strictly_dominated =
+            a->cost <= b->cost - margin && a->cap <= b->cap - margin &&
+            a->sink_delay <= b->sink_delay - margin &&
+            a->arr.Eval(x) <= b->arr.Eval(x) - margin &&
+            a->diam.Eval(x) <= b->diam.Eval(x) - margin;
+        EXPECT_FALSE(strictly_dominated)
+            << "survivor with cost " << b->cost
+            << " is strictly dominated at x = " << x << " by cost "
+            << a->cost;
+      }
+    }
+  }
+}
+
+SolutionSet RandomSet(Rng& rng, int n) {
+  SolutionSet set;
+  for (int i = 0; i < n; ++i) {
+    set.push_back(Make(rng.UniformReal(0.0, 4.0), rng.UniformReal(0.0, 2.0),
+                       rng.UniformReal(0.0, 100.0),
+                       Pwl::Line(rng.UniformReal(0.0, 200.0),
+                                 rng.UniformReal(0.0, 30.0)),
+                       Pwl::Line(rng.UniformReal(0.0, 300.0),
+                                 rng.UniformReal(0.0, 30.0))));
+  }
+  return set;
+}
+
+class MfsMinimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MfsMinimality, NoSurvivorDominatedAtSampledLoads) {
+  Rng rng(GetParam());
+  const SolutionSet set = RandomSet(rng, 48);
+  std::vector<double> xs = {0.0, 0.25, 1.0, 3.0, 10.0, 40.0};
+  for (int i = 0; i < 24; ++i) xs.push_back(rng.UniformReal(0.0, 60.0));
+
+  for (const MfsOptions::Mode mode :
+       {MfsOptions::Mode::kQuadratic, MfsOptions::Mode::kDivideConquer}) {
+    SolutionSet copy;
+    for (const SolutionPtr& s : set) {
+      copy.push_back(std::make_shared<MsriSolution>(*s));
+    }
+    MfsOptions options;
+    options.mode = mode;
+    MfsStats stats;
+    const SolutionSet out = ComputeMfs(std::move(copy), options, &stats);
+    ExpectMinimal(out, xs, 1e-6);
+    // The predictive skip only ever avoids tests the sort already
+    // decided; its mirror-pair bound must hold structurally.
+    EXPECT_LE(stats.predictive_skipped, stats.comparisons);
+    EXPECT_GT(stats.predictive_skipped, 0u);
+  }
+}
+
+/// PairwisePrune (kQuadratic) and MfsRecurse (kDivideConquer) must agree:
+/// identical pointwise-achievable frontier at sampled loads, each mode's
+/// survivors covered by the other's, and both minimal.
+TEST_P(MfsMinimality, PairwiseAndRecurseEquivalent) {
+  Rng rng(GetParam() + 1000);
+  const SolutionSet set = RandomSet(rng, 40);
+  SolutionSet s1;
+  SolutionSet s2;
+  for (const SolutionPtr& s : set) {
+    s1.push_back(std::make_shared<MsriSolution>(*s));
+    s2.push_back(std::make_shared<MsriSolution>(*s));
+  }
+  MfsOptions quad = Quadratic();
+  MfsOptions dc;
+  dc.mode = MfsOptions::Mode::kDivideConquer;
+  dc.base_case = 4;  // Deep recursion: many cross-prune passes.
+  const SolutionSet a = ComputeMfs(std::move(s1), quad);
+  const SolutionSet b = ComputeMfs(std::move(s2), dc);
+
+  std::vector<double> xs;
+  for (int i = 0; i < 32; ++i) xs.push_back(rng.UniformReal(0.0, 60.0));
+  ExpectMinimal(a, xs, 1e-6);
+  ExpectMinimal(b, xs, 1e-6);
+  auto covered = [](const SolutionSet& by, const MsriSolution& s, double x) {
+    for (const SolutionPtr& k : by) {
+      if (!k->valid.Contains(x)) continue;
+      if (k->cost <= s.cost + 1e-6 && k->cap <= s.cap + 1e-6 &&
+          k->sink_delay <= s.sink_delay + 1e-6 &&
+          k->arr.Eval(x) <= s.arr.Eval(x) + 1e-6 &&
+          k->diam.Eval(x) <= s.diam.Eval(x) + 1e-6) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const double x : xs) {
+    for (const SolutionPtr& s : a) {
+      if (s->valid.Contains(x)) {
+        EXPECT_TRUE(covered(b, *s, x)) << "x=" << x;
+      }
+    }
+    for (const SolutionPtr& s : b) {
+      if (s->valid.Contains(x)) {
+        EXPECT_TRUE(covered(a, *s, x)) << "x=" << x;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MfsMinimality,
+                         ::testing::Range<std::uint64_t>(1, 16));
 
 /// Divide-and-conquer agrees with quadratic pruning on the surviving
 /// frontier (same minimal cover, possibly different tie-breaks — we check

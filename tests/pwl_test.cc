@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -162,6 +163,62 @@ TEST(Pwl, SimplifyMergesEqualSegments) {
   EXPECT_EQ(f.NumSegments(), 1u);
   f.Simplify();
   EXPECT_EQ(f.NumSegments(), 1u);
+}
+
+TEST(Pwl, EpsilonCloseBreakpointsDoNotInflateSegments) {
+  // Regression for segment-count stability: breakpoints that drift apart
+  // by rounding noise used to survive the exact-equality dedup as
+  // near-zero-width segments and inflate counts through the whole DP.
+  const Pwl f = Pwl::Max(Pwl::Constant(5.0), Pwl::Line(0.0, 1.0));
+  ASSERT_EQ(f.NumSegments(), 2u);
+  // The same function, its crossover shifted by ~1 ulp-scale noise.
+  const Pwl g =
+      Pwl::Max(Pwl::Constant(5.0 * (1.0 + 1e-13)), Pwl::Line(0.0, 1.0));
+  ASSERT_EQ(g.NumSegments(), 2u);
+  const Pwl m = Pwl::Max(f, g);
+  EXPECT_EQ(m.NumSegments(), 2u);
+
+  // Stability under accumulation: maxing in many noise-perturbed copies
+  // must not grow the representation.
+  Pwl acc = m;
+  for (int i = 0; i < 50; ++i) {
+    const Pwl noisy = Pwl::Max(
+        Pwl::Constant(5.0 + static_cast<double>(i) * 1e-14),
+        Pwl::Line(static_cast<double>(i) * 1e-15, 1.0));
+    acc = Pwl::Max(acc, noisy);
+  }
+  EXPECT_LE(acc.NumSegments(), 3u);
+  EXPECT_NEAR(acc.Eval(0.0), 5.0, 1e-9);
+  EXPECT_NEAR(acc.Eval(10.0), 10.0, 1e-9);
+}
+
+TEST(Pwl, ManySegmentsSpillAndCopySemantics) {
+  // Upper envelope of 8 lines (slope i, intercept 100 - i^2): every line
+  // appears, with crossovers at x = 1, 3, 5, ... — more segments than
+  // the inline arena holds, so this exercises the heap-spill path and
+  // the copy/move transitions between inline and heap storage.
+  Pwl f = Pwl::NegInf();
+  for (int i = 0; i < 8; ++i) {
+    f = Pwl::Max(f, Pwl::Line(100.0 - static_cast<double>(i * i),
+                              static_cast<double>(i)));
+  }
+  ASSERT_EQ(f.NumSegments(), 8u);
+  EXPECT_TRUE(f.IsConvexNonDecreasing());
+  EXPECT_DOUBLE_EQ(f.Eval(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(f.Eval(4.0), 104.0);   // Line i = 2: 96 + 2x.
+  EXPECT_DOUBLE_EQ(f.Eval(20.0), 191.0);  // Line i = 7: 51 + 7x.
+
+  Pwl copy = f;  // heap -> heap copy
+  EXPECT_TRUE(Pwl::ApproxEqual(copy, f));
+  copy = Pwl::Line(1.0, 1.0);  // heap -> inline assignment
+  EXPECT_EQ(copy.NumSegments(), 1u);
+  copy = f;  // inline -> heap assignment
+  EXPECT_TRUE(Pwl::ApproxEqual(copy, f));
+  const Pwl moved = std::move(copy);
+  EXPECT_TRUE(Pwl::ApproxEqual(moved, f));
+  Pwl small = Pwl::Line(2.0, 3.0);
+  const Pwl small_moved = std::move(small);
+  EXPECT_DOUBLE_EQ(small_moved.Eval(1.0), 5.0);
 }
 
 TEST(Pwl, ConvexityDetection) {

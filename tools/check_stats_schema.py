@@ -15,6 +15,7 @@ import sys
 
 RUN_SCHEMA = "msn-run-stats-v1"
 BENCH_SCHEMA = "msn-bench-stats-v1"
+MERGED_BENCH_SCHEMA = "msn-bench-stats-v1-merged"
 BATCH_SCHEMA = "msn-batch-stats-v1"
 SERVICE_SCHEMA = "msn-service-stats-v2"
 STA_SCHEMA = "msn-sta-stats-v1"
@@ -97,6 +98,19 @@ def _check_run(doc, where="run"):
             raise SchemaError(f"{where}: timer {name!r} calls invalid")
         _number(t["total_ms"], f"{where}: timer {name!r} total_ms")
         _number(t["mean_us"], f"{where}: timer {name!r} mean_us")
+    # Structural invariants of the DP pruning counters, checked whenever a
+    # registry carries them (optimize runs, batch aggregates, bench
+    # trajectories).  Predictive skips are tests the (cost, cap) sort
+    # decided without running — each has a mirror test that did run, so
+    # skips can never exceed comparisons; early-join prunes drop a subset
+    # of the visited cross-product pairs.
+    counters = doc["counters"]
+    for small, big in (("mfs.predictive_skipped", "mfs.comparisons"),
+                       ("msri.join_pruned_early", "msri.join_candidates")):
+        if small in counters and counters[small] > counters.get(big, 0):
+            raise SchemaError(f"{where}: counter {small!r}"
+                              f" ({counters[small]}) exceeds {big!r}"
+                              f" ({counters.get(big, 0)})")
     for name, h in doc["histograms"].items():
         if not isinstance(h, dict) or set(h) != set(HISTOGRAM_FIELDS):
             raise SchemaError(f"{where}: histogram {name!r} must have exactly"
@@ -130,6 +144,19 @@ def _check_optimize_run(doc, where):
                 if name.startswith("pwl.") and name.endswith(".segments")]
     if not segments:
         raise SchemaError(f"{where}: no pwl.*.segments histograms")
+
+
+def _check_bench(doc, where):
+    """msn-bench-stats-v1: bench name plus a list of run registries.
+    Returns the run count so merged-doc callers can total it."""
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        raise SchemaError(f"{where}: bench trajectory missing 'bench'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        raise SchemaError(f"{where}: bench trajectory missing 'runs' list")
+    for i, run in enumerate(runs):
+        _check_run(run, f"{where} runs[{i}]")
+    return len(runs)
 
 
 def _check_batch(doc, path):
@@ -426,14 +453,22 @@ def check_file(path, strict_optimize=False):
     if isinstance(doc, dict) and doc.get("schema") == STA_SCHEMA:
         return _check_sta(doc, path)
     if isinstance(doc, dict) and doc.get("schema") == BENCH_SCHEMA:
-        if not isinstance(doc.get("bench"), str) or not doc["bench"]:
-            raise SchemaError(f"{path}: bench trajectory missing 'bench'")
-        runs = doc.get("runs")
-        if not isinstance(runs, list):
-            raise SchemaError(f"{path}: bench trajectory missing 'runs' list")
-        for i, run in enumerate(runs):
-            _check_run(run, f"{path} runs[{i}]")
-        return f"{path}: ok ({BENCH_SCHEMA}, {len(runs)} runs)"
+        n = _check_bench(doc, path)
+        return f"{path}: ok ({BENCH_SCHEMA}, {n} runs)"
+    if isinstance(doc, dict) and doc.get("schema") == MERGED_BENCH_SCHEMA:
+        benches = doc.get("benches")
+        if not isinstance(benches, list) or not benches:
+            raise SchemaError(f"{path}: merged doc missing 'benches' list")
+        total = 0
+        for i, bench in enumerate(benches):
+            if not isinstance(bench, dict) \
+                    or bench.get("schema") != BENCH_SCHEMA:
+                raise SchemaError(f"{path} benches[{i}]: schema is"
+                                  f" {bench.get('schema')!r},"
+                                  f" wanted {BENCH_SCHEMA!r}")
+            total += _check_bench(bench, f"{path} benches[{i}]")
+        return (f"{path}: ok ({MERGED_BENCH_SCHEMA},"
+                f" {len(benches)} benches, {total} runs)")
     if strict_optimize:
         _check_optimize_run(doc, path)
     else:
